@@ -1,0 +1,42 @@
+"""Design-choice ablations: ports, overlap, start-up overhead, lookahead."""
+
+from conftest import one_shot
+
+from repro.analysis import format_table
+from repro.experiments import ablations
+
+
+def test_ablation_ports(benchmark):
+    rows = one_shot(benchmark, ablations.run_ports, scale=4)
+    print()
+    print(format_table(rows, title="Ablation: one-port vs two-port"))
+    one, two = rows
+    assert two["makespan_s"] <= one["makespan_s"] + 1e-9
+
+
+def test_ablation_overlap(benchmark):
+    rows = one_shot(benchmark, ablations.run_overlap)
+    print()
+    print(format_table(rows, title="Ablation: overlap vs no-overlap layout"))
+    # With ample memory the spare generation pays off.
+    ample = [r for r in rows if r["m_blocks"] >= 120]
+    assert any(r["overlap_gain_pct"] > 0 for r in ample)
+
+
+def test_ablation_startup(benchmark):
+    rows = one_shot(benchmark, ablations.run_startup)
+    print()
+    print(format_table(rows, title="Ablation: start-up (C-tile) overhead"))
+    for row in rows:
+        # Measured loss always under the paper's analytic bound, and
+        # vanishing as t grows.
+        assert row["c_io_fraction"] <= row["paper_bound"]
+    fractions = [r["c_io_fraction"] for r in rows]
+    assert fractions == sorted(fractions, reverse=True)
+
+
+def test_ablation_lookahead(benchmark):
+    rows = one_shot(benchmark, ablations.run_lookahead, depths=(1, 2, 3))
+    print()
+    print(format_table(rows, title="Ablation: lookahead depth"))
+    assert rows[1]["ratio"] >= rows[0]["ratio"]

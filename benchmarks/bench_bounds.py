@@ -1,0 +1,23 @@
+"""Section 4 — CCR of maximum re-use vs the lower bounds."""
+
+import math
+
+from conftest import one_shot
+
+from repro.analysis import format_table
+from repro.experiments import bounds
+
+
+def test_bounds_sweep(benchmark):
+    rows = one_shot(benchmark, bounds.run)
+    print()
+    print(format_table(rows, title="Section 4: CCR vs lower bounds"))
+    for row in rows:
+        # bound ordering: prev-best < refined Toledo < Loomis-Whitney <= achieved
+        assert row["bound_prev_best"] < row["bound_toledo_refined"]
+        assert row["bound_toledo_refined"] < row["bound_loomis_whitney"]
+        assert row["bound_loomis_whitney"] <= row["ccr_maxreuse_inf"]
+        # simulation agrees with the closed form
+        assert abs(row["ccr_simulated(t)"] - row["ccr_maxreuse(t)"]) < 1e-9
+    # the asymptotic gap approaches sqrt(32/27) ~ 1.089
+    assert abs(rows[-1]["gap_vs_LW"] - math.sqrt(32 / 27)) < 0.02

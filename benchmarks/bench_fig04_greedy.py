@@ -1,0 +1,16 @@
+"""Figure 4 — Thrifty vs Min-min counterexamples."""
+
+from conftest import one_shot
+
+from repro.analysis import format_table
+from repro.experiments import fig04
+
+
+def test_fig04_counterexamples(benchmark):
+    rows = one_shot(benchmark, fig04.run, brute_force=True)
+    print()
+    print(format_table(rows, title="Figure 4: Thrifty vs Min-min (makespans)"))
+    a, b = rows
+    assert a["winner"] == "Min-min"
+    assert b["winner"] == "Thrifty"
+    assert a["optimal"] < a["thrifty"]  # neither greedy is optimal

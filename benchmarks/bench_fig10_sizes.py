@@ -1,0 +1,28 @@
+"""Figure 10 — the seven algorithms on the three Section 8.3 workloads."""
+
+from conftest import one_shot
+
+from repro.analysis import format_table
+from repro.experiments import fig10
+
+
+def test_fig10_full_scale(benchmark):
+    rows = one_shot(benchmark, fig10.run, scale=1)
+    print()
+    print(format_table(rows, title="Figure 10: makespans on the UT cluster"))
+    by_workload: dict = {}
+    for row in rows:
+        by_workload.setdefault(row["workload"], {})[row["algorithm"]] = row
+    for workload, algos in by_workload.items():
+        # Optimized layout beats Toledo's layout (the paper's headline).
+        for name in ("HoLM", "ORROML", "ODDOML", "DDOML"):
+            assert algos[name]["makespan_s"] < algos["BMM"]["makespan_s"], workload
+        # OMMOML is the laggard of the optimized-layout group.
+        assert algos["OMMOML"]["makespan_s"] > algos["HoLM"]["makespan_s"]
+        # HoLM keeps up while enrolling only 4 of 8 workers.
+        assert algos["HoLM"]["workers"] == 4
+        assert algos["ORROML"]["workers"] == 8
+        assert (
+            algos["HoLM"]["makespan_s"]
+            <= algos["ORROML"]["makespan_s"] * 1.06
+        )

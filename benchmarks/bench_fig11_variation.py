@@ -1,0 +1,18 @@
+"""Figure 11 — run-to-run variation under platform jitter."""
+
+from conftest import one_shot
+
+from repro.analysis import format_table
+from repro.experiments import fig11
+
+
+def test_fig11_spread(benchmark):
+    rows = one_shot(benchmark, fig11.run, runs=5, scale=4)
+    print()
+    print(format_table(rows, title="Figure 11: run-to-run variation"))
+    worst = max(r["spread_pct"] for r in rows)
+    # The paper observes ~6% between extreme runs; the calibrated jitter
+    # lands in the same band (anything under ~15% supports the paper's
+    # "within 6% counts as similar" methodology).
+    assert 0.0 < worst < 15.0
+    assert len(rows) == 7

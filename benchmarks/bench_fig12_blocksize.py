@@ -1,0 +1,16 @@
+"""Figure 12 — impact of the block size q (40 vs 80)."""
+
+from conftest import one_shot
+
+from repro.analysis import format_table
+from repro.experiments import fig12
+
+
+def test_fig12_blocksize(benchmark):
+    rows = one_shot(benchmark, fig12.run, scale=1)
+    print()
+    print(format_table(rows, title="Figure 12: impact of block size q"))
+    # The paper: "the choice of q has little impact on the algorithms
+    # performance" — same-element-count runs land within a few percent.
+    for row in rows:
+        assert row["spread_pct"] < 10.0, row["algorithm"]

@@ -1,0 +1,31 @@
+"""Figure 13 — impact of the worker memory size (132–512 MB)."""
+
+from conftest import one_shot
+
+from repro.analysis import format_table
+from repro.experiments import fig13
+
+
+def test_fig13_memory_sweep(benchmark):
+    rows = one_shot(benchmark, fig13.run, scale=1)
+    print()
+    print(format_table(rows, title="Figure 13: impact of worker memory"))
+    by_algo: dict = {}
+    for row in rows:
+        by_algo.setdefault(row["algorithm"], []).append(row)
+    for algo, series in by_algo.items():
+        series.sort(key=lambda r: r["memory_mb"])
+        # More memory never hurts (monotone within rounding).
+        assert series[-1]["makespan_s"] <= series[0]["makespan_s"] * 1.001, algo
+    holm = {r["memory_mb"]: r for r in by_algo["HoLM"]}
+    # "HoLM will use respectively two and four workers when the memory
+    #  available increases" (Section 8.4).
+    assert holm[132.0]["workers"] == 2
+    assert holm[512.0]["workers"] == 4
+    # HoLM stays competitive with the 8-worker algorithms at every point.
+    by_mem: dict = {}
+    for row in rows:
+        by_mem.setdefault(row["memory_mb"], {})[row["algorithm"]] = row
+    for algos in by_mem.values():
+        best = min(r["makespan_s"] for r in algos.values())
+        assert algos["HoLM"]["makespan_s"] <= best * 1.08

@@ -1,0 +1,16 @@
+"""Heterogeneity-degree sweep — the study Section 8 announces."""
+
+from conftest import one_shot
+
+from repro.analysis import format_table
+from repro.experiments import hetero
+
+
+def test_hetero_degree_sweep(benchmark):
+    rows = one_shot(benchmark, hetero.run)
+    print()
+    print(format_table(rows, title="Heterogeneity-degree sweep"))
+    for row in rows:
+        assert row["makespan"] > 0
+        # Incremental selection never claims more than the steady bound.
+        assert row["selection_ratio"] <= row["steady_bound"] * 1.01

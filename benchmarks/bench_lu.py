@@ -1,0 +1,54 @@
+"""Section 7 — LU cost model, worker counts, pivot search, numeric LU."""
+
+import numpy as np
+from conftest import one_shot
+
+from repro.analysis import format_table
+from repro.experiments import lu as lu_exp
+from repro.lu import block_lu, verify_lu
+
+
+def test_lu_cost_model(benchmark):
+    rows = one_shot(benchmark, lu_exp.run_costs, mu=8, r_values=(16, 32, 64, 128))
+    print()
+    print(format_table(rows, title="Section 7.1: LU costs (block units)"))
+    for row in rows:
+        assert abs(row["comp_exact"] - row["comp_paper"]) < 1e-6
+        assert abs(
+            (row["comm_exact"] - row["comm_paper"]) - row["comm_panel_terms"]
+        ) < 1e-6
+
+
+def test_lu_homogeneous_selection(benchmark):
+    rows = one_shot(benchmark, lu_exp.run_homogeneous, r=196, p=8)
+    print()
+    print(format_table(rows, title="Section 7.2: homogeneous LU"))
+    # Larger pivots need more workers (P = ceil(mu w / 3c)).
+    ps = [r["P=ceil(mu*w/3c)"] for r in rows]
+    assert ps == sorted(ps)
+
+
+def test_lu_hetero_policies(benchmark):
+    rows = one_shot(benchmark, lu_exp.run_hetero_policies, r=36)
+    print()
+    print(format_table(rows, title="Section 7.3: heterogeneous LU policies"))
+    assert len(rows) == 3
+
+
+def test_lu_parallel_simulation(benchmark):
+    rows = one_shot(benchmark, lu_exp.run_simulation, r=56, p=8)
+    print()
+    print(format_table(rows, title="Section 7.2: simulated parallel LU"))
+    for row in rows:
+        # Simulation and estimate agree within the estimate's slack.
+        assert abs(row["sim_makespan_s"] - row["estimate_s"]) < 0.4 * row["estimate_s"]
+
+
+def test_block_lu_numeric(benchmark):
+    """Numeric block LU at a realistic panel ratio, verified."""
+    rng = np.random.default_rng(0)
+    n = 256
+    a = rng.uniform(-1, 1, (n, n)) + n * np.eye(n)
+
+    packed = one_shot(benchmark, lambda: block_lu(a.copy(), panel=32))
+    assert verify_lu(a, packed)

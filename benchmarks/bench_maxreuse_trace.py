@@ -1,0 +1,16 @@
+"""Figures 5/6 — the maximum re-use layout walk-through (m=21, µ=4)."""
+
+from conftest import one_shot
+
+from repro.analysis import format_table
+from repro.experiments import maxreuse_trace
+
+
+def test_maxreuse_m21(benchmark):
+    row = one_shot(benchmark, maxreuse_trace.run, m=21, t=4)
+    print()
+    print(format_table([row], title="Figures 5/6: maximum re-use on m=21"))
+    assert row["mu"] == 4
+    assert (row["a_buffers"], row["b_buffers"], row["c_buffers"]) == (1, 4, 16)
+    assert row["peak_measured"] == 21
+    assert abs(row["ccr"] - row["ccr_formula"]) < 1e-12

@@ -1,0 +1,19 @@
+"""Table 1 — bandwidth-centric steady state vs memory feasibility."""
+
+from conftest import one_shot
+
+from repro.analysis import format_table
+from repro.experiments import table1
+
+
+def test_table1_infeasibility(benchmark):
+    rows = one_shot(benchmark, table1.run)
+    print()
+    print(format_table(rows, title="Table 1: steady state vs memory"))
+    p1, p2 = rows
+    # Both workers look identical to the LP (2c/(mu w) = 1/2 each) ...
+    assert p1["2c/(mu*w)"] == p2["2c/(mu*w)"] == 0.5
+    # ... but P1 must buffer ~40 blocks against 8 available: infeasible.
+    assert p1["blocks_needed"] > p1["blocks_available"]
+    assert not p1["feasible"]
+    assert p2["feasible"]

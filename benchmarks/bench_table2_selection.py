@@ -1,0 +1,41 @@
+"""Table 2 + Figures 7/8 — incremental selection ratios and Gantts."""
+
+from conftest import one_shot
+
+from repro.analysis import format_table, gantt_selection
+from repro.core.heterogeneous import global_selection, local_selection
+from repro.experiments import table2
+from repro.platform import table2_platform
+
+
+def test_table2_ratios(benchmark):
+    rows = one_shot(benchmark, table2.run, steps=2000)
+    print()
+    print(format_table(rows, title="Table 2: selection ratios"))
+    by_name = {r["algorithm"]: r["ratio"] for r in rows}
+    assert abs(by_name["steady-state bound"] - 25 / 18) < 1e-9
+    assert abs(by_name["global (Algorithm 3)"] - 1.17) < 0.01
+    assert abs(by_name["local"] - 1.21) < 0.01
+    assert abs(by_name["lookahead depth=2"] - 1.30) < 0.015
+
+
+def test_fig7_fig8_gantts(benchmark):
+    plat = table2_platform()
+
+    def render():
+        g = global_selection(plat, 10**6, 10**7, 10**6, max_steps=40)
+        l = local_selection(plat, 10**6, 10**7, 10**6, max_steps=40)
+        horizon = min(g.completion_time, l.completion_time)
+        return (
+            g,
+            l,
+            gantt_selection(g, 3, width=100, max_time=horizon),
+            gantt_selection(l, 3, width=100, max_time=horizon),
+        )
+
+    g, l, chart_g, chart_l = one_shot(benchmark, render)
+    print("\nFigure 7 (global):\n" + chart_g)
+    print("\nFigure 8 (local):\n" + chart_l)
+    # Same first 13 decisions; divergence at the 14th (paper's walkthrough).
+    assert g.sequence[:13] == l.sequence[:13]
+    assert g.sequence[13] == 2 and l.sequence[13] == 1

@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper:
+it runs the corresponding :mod:`repro.experiments` module under
+pytest-benchmark (so regressions in simulation speed are visible),
+prints the same rows/series the paper reports, and asserts the paper's
+qualitative claims on the output.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the reproduced tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def one_shot(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single measured round.
+
+    The experiment simulations are deterministic; a single round gives
+    a stable wall-clock figure without multiplying multi-second
+    simulations.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

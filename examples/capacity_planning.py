@@ -1,0 +1,58 @@
+"""Capacity planning: how much worker memory does a deadline need?
+
+A practical use of the simulator beyond the paper's experiments: given
+a recurring product workload and a turnaround target, sweep the
+per-worker memory budget and report the cheapest configuration that
+meets the deadline — including how many workers the paper's resource
+selection would actually enroll at each point (memory you do not buy
+is workers you do not need).
+"""
+
+from repro.analysis import format_table
+from repro.engine import run_scheduler
+from repro.platform import ut_cluster_platform
+from repro.schedulers import HoLM
+from repro.workloads import Workload
+
+
+def main() -> None:
+    workload = Workload("nightly batch", 8000, 8000, 32000)
+    shape = workload.shape(80)
+    target_s = 1200.0
+    print(f"Workload: {workload.name} -> {shape}")
+    print(f"Turnaround target: {target_s:.0f} s\n")
+
+    rows = []
+    feasible = None
+    for memory_mb in (64, 96, 132, 198, 264, 396, 512):
+        platform = ut_cluster_platform(p=8, memory_mb=memory_mb)
+        trace = run_scheduler(HoLM(), platform, shape)
+        meets = trace.makespan <= target_s
+        rows.append(
+            {
+                "memory_mb": memory_mb,
+                "makespan_s": trace.makespan,
+                "workers": len(trace.enrolled_workers),
+                "ccr": trace.ccr,
+                "meets_target": meets,
+            }
+        )
+        if meets and feasible is None:
+            feasible = memory_mb
+    print(format_table(rows, title="Memory sweep under HoLM"))
+    if feasible is None:
+        print("\nNo configuration meets the target; add bandwidth, not RAM —")
+        print("the port is the bottleneck at every memory size.")
+    else:
+        print(
+            f"\nCheapest configuration meeting the target: {feasible} MB "
+            "per worker."
+        )
+        print(
+            "Diminishing returns beyond that: CCR falls as 2/sqrt(m), so "
+            "doubling memory buys only ~30% less traffic."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The build metadata lives in ``pyproject.toml``.  This file exists so that
+``pip install -e .`` works on minimal environments that lack the
+``wheel`` package (pip then falls back to the legacy ``setup.py
+develop`` code path, which has no wheel dependency).
+"""
+
+from setuptools import setup
+
+setup()

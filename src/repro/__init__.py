@@ -1,0 +1,39 @@
+"""repro — a reproduction of *Revisiting Matrix Product on Master-Worker
+Platforms* (Dongarra, Pineau, Robert, Shi, Vivien; IPDPS 2007 / INRIA
+RR-6053).
+
+The package implements, from scratch:
+
+* the paper's theory — memory layouts, the maximum re-use algorithm and
+  the Loomis-Whitney communication lower bound (:mod:`repro.core`);
+* the Section 3 simplified scheduling model with the alternating
+  greedy, Thrifty and Min-min algorithms (:mod:`repro.simple`);
+* homogeneous resource selection / HoLM and the six comparison
+  algorithms of Section 8 (:mod:`repro.schedulers`);
+* heterogeneous steady-state and incremental selection, Section 6
+  (:mod:`repro.core.heterogeneous`);
+* the LU factorization extension, Section 7 (:mod:`repro.lu`);
+* the substrate the authors had in hardware: a deterministic
+  discrete-event simulator of one-port star platforms
+  (:mod:`repro.sim`, :mod:`repro.platform`, :mod:`repro.engine`) plus a
+  numpy block-matrix layer for numerical verification
+  (:mod:`repro.blocks`);
+* an experiment harness regenerating every table and figure
+  (:mod:`repro.experiments`, driven by ``python -m repro``).
+
+Quickstart::
+
+    from repro.platform import ut_cluster_platform
+    from repro.blocks import ProblemShape
+    from repro.engine import run_scheduler
+    from repro.schedulers import HoLM
+
+    platform = ut_cluster_platform(p=8)
+    shape = ProblemShape.from_elements(8000, 8000, 64000, q=80)
+    trace = run_scheduler(HoLM(), platform, shape)
+    print(trace.makespan, trace.enrolled_workers)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

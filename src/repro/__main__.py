@@ -1,0 +1,42 @@
+"""Command-line entry point: run any experiment by name.
+
+Usage::
+
+    python -m repro list            # show available experiments
+    python -m repro fig10           # run the Figure 10 reproduction
+    python -m repro all             # run everything (slow)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Dispatch to an experiment's ``main()``; returns the exit code."""
+    args = argv if argv is not None else sys.argv[1:]
+    if not args or args[0] in ("-h", "--help", "list"):
+        print("Available experiments:")
+        for name, module in ALL_EXPERIMENTS.items():
+            headline = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:<10s} {headline}")
+        print("  all        run every experiment in sequence")
+        return 0
+    name = args[0]
+    if name == "all":
+        for key, module in ALL_EXPERIMENTS.items():
+            print(f"\n{'=' * 72}\n== {key}\n{'=' * 72}")
+            module.main()
+        return 0
+    module = ALL_EXPERIMENTS.get(name)
+    if module is None:
+        print(f"unknown experiment {name!r}; try 'python -m repro list'")
+        return 2
+    module.main()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

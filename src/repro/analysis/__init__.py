@@ -1,0 +1,20 @@
+"""Analysis and reporting: Gantt rendering, metric tables.
+
+* :mod:`repro.analysis.gantt` — ASCII Gantt charts of selection results
+  and engine traces (regenerates the look of Figures 7 and 8).
+* :mod:`repro.analysis.tables` — fixed-width table formatting for the
+  experiment harness and CLI.
+* :mod:`repro.analysis.metrics` — summary statistics over traces.
+"""
+
+from repro.analysis.gantt import gantt_selection, gantt_trace
+from repro.analysis.metrics import TraceSummary, summarize_trace
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "TraceSummary",
+    "format_table",
+    "gantt_selection",
+    "gantt_trace",
+    "summarize_trace",
+]

@@ -1,0 +1,108 @@
+"""ASCII Gantt charts.
+
+Renders the master's port activity and each worker's compute activity
+on a shared time axis, in the style of the paper's Figures 7 and 8:
+
+    M  |22|11|33|11|33| ...
+    P1    .  ###  ###
+    ...
+
+The master row shows which worker each communication serves; worker
+rows show busy (``#``) versus idle (spaces).  Rendering is width-bound:
+time is linearly quantised into character cells, so very short
+intervals may collapse — the charts are illustrations, the numbers in
+the accompanying tables are exact.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.heterogeneous import SelectionResult
+from repro.engine.trace import Trace
+
+__all__ = ["gantt_selection", "gantt_trace"]
+
+
+def _digit(worker: int) -> str:
+    return str(worker % 10)
+
+
+def _render(
+    rows: dict[str, list[tuple[float, float, str]]],
+    horizon: float,
+    width: int,
+) -> str:
+    if horizon <= 0:
+        raise ValueError("nothing to render (horizon <= 0)")
+    scale = width / horizon
+    label_w = max(len(name) for name in rows) + 1
+    lines = []
+    for name, intervals in rows.items():
+        cells = [" "] * width
+        for start, end, mark in intervals:
+            lo = min(width - 1, int(start * scale))
+            hi = min(width, max(lo + 1, int(round(end * scale))))
+            for x in range(lo, hi):
+                cells[x] = mark
+        lines.append(f"{name:<{label_w}}|{''.join(cells)}|")
+    axis = f"{'':<{label_w}}0{'':<{width - len(f'{horizon:g}') - 1}}{horizon:g}"
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def gantt_selection(
+    selection: SelectionResult,
+    workers: int,
+    width: int = 100,
+    max_time: Optional[float] = None,
+) -> str:
+    """Render an incremental-selection run (Figures 7/8 style).
+
+    Args:
+        selection: output of a Section 6.2 selection algorithm.
+        workers: number of workers on the platform.
+        width: chart width in characters.
+        max_time: truncate the chart at this simulated time (defaults
+            to the full completion time).
+    """
+    horizon = max_time if max_time is not None else selection.completion_time
+    rows: dict[str, list[tuple[float, float, str]]] = {"M": []}
+    for w in range(1, workers + 1):
+        rows[f"P{w}"] = []
+    for worker, start, end in selection.comm_intervals:
+        if start >= horizon:
+            continue
+        rows["M"].append((start, min(end, horizon), _digit(worker)))
+    for worker, start, end in selection.compute_intervals:
+        if start >= horizon:
+            continue
+        rows[f"P{worker}"].append((start, min(end, horizon), "#"))
+    return _render(rows, horizon, width)
+
+
+def gantt_trace(
+    trace: Trace,
+    workers: int,
+    width: int = 100,
+    max_time: Optional[float] = None,
+) -> str:
+    """Render an engine trace: master port row plus worker compute rows.
+
+    Sends are marked with the destination worker's digit, receives with
+    ``^`` (results flowing back), compute with ``#``.
+    """
+    horizon = max_time if max_time is not None else trace.makespan
+    rows: dict[str, list[tuple[float, float, str]]] = {"M": []}
+    for w in range(1, workers + 1):
+        rows[f"P{w}"] = []
+    for comm in trace.comms:
+        if comm.start >= horizon:
+            continue
+        mark = _digit(comm.worker) if comm.direction == "send" else "^"
+        rows["M"].append((comm.start, min(comm.end, horizon), mark))
+    for comp in trace.computes:
+        if comp.start >= horizon:
+            continue
+        rows[f"P{comp.worker}"].append((comp.start, min(comp.end, horizon), "#"))
+    return _render(rows, horizon, width)

@@ -1,0 +1,49 @@
+"""Summary metrics over engine traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.trace import Trace
+
+__all__ = ["TraceSummary", "summarize_trace"]
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """One-line summary of a run, as used in the experiment tables.
+
+    Attributes:
+        makespan: total time until the last result returned.
+        comm_blocks: blocks moved through the master.
+        updates: block updates computed.
+        ccr: blocks per update.
+        workers_used: number of workers that computed anything.
+        port_utilisation: busy fraction of the master's (send) port.
+        mean_worker_utilisation: mean busy fraction over used workers.
+    """
+
+    makespan: float
+    comm_blocks: int
+    updates: int
+    ccr: float
+    workers_used: int
+    port_utilisation: float
+    mean_worker_utilisation: float
+
+
+def summarize_trace(trace: Trace) -> TraceSummary:
+    """Condense a trace into a :class:`TraceSummary`."""
+    used = trace.enrolled_workers
+    mean_util = (
+        sum(trace.worker_utilisation(w) for w in used) / len(used) if used else 0.0
+    )
+    return TraceSummary(
+        makespan=trace.makespan,
+        comm_blocks=trace.comm_blocks,
+        updates=trace.total_updates,
+        ccr=trace.ccr,
+        workers_used=len(used),
+        port_utilisation=trace.port_utilisation(0),
+        mean_worker_utilisation=mean_util,
+    )

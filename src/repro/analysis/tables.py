@@ -1,0 +1,51 @@
+"""Fixed-width table rendering for experiment output.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; this module handles the formatting uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = ["format_table"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` (mappings) as an aligned text table.
+
+    Args:
+        rows: one mapping per row; missing keys render empty.
+        columns: column order (defaults to the first row's key order).
+        title: optional heading line.
+    """
+    if not rows:
+        return title or "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [[_fmt(row.get(col, "")) for col in cols] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)

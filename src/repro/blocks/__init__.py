@@ -1,0 +1,31 @@
+"""Block-partitioned matrices (Section 2.1 of the paper).
+
+The atomic data unit throughout the paper is a square q×q *block* of
+matrix elements (q chosen to make Level-3 BLAS efficient; 80 or 100).
+For the product ``C ← C + A·B``:
+
+* ``A`` is ``r`` stripes × ``t`` blocks  (size ``n_A × n_AB`` elements),
+* ``B`` is ``t`` blocks × ``s`` stripes  (size ``n_AB × n_B``),
+* ``C`` is ``r × s`` blocks.
+
+This subpackage provides:
+
+* :class:`~repro.blocks.shape.ProblemShape` — the pure-size view
+  ``(r, s, t, q)`` used by schedulers and cost analysis,
+* :class:`~repro.blocks.matrix.BlockMatrix` — a numpy-backed matrix with
+  block get/set accessors, used by the execution engine to verify that a
+  schedule really computes ``C + A·B``,
+* verification helpers in :mod:`repro.blocks.verify`.
+"""
+
+from repro.blocks.matrix import BlockMatrix
+from repro.blocks.shape import ProblemShape
+from repro.blocks.verify import make_product_instance, max_block_error, verify_product
+
+__all__ = [
+    "BlockMatrix",
+    "ProblemShape",
+    "make_product_instance",
+    "max_block_error",
+    "verify_product",
+]

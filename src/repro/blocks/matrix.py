@@ -1,0 +1,109 @@
+"""Numpy-backed block matrix with 1-based block accessors.
+
+:class:`BlockMatrix` stores a dense float64 array and exposes q×q block
+views.  Block getters return *views* (no copies) so that the execution
+engine can update C in place, matching the guides' "use views, not
+copies" discipline; callers that need to model data shipping explicitly
+copy (``block(...).copy()``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["BlockMatrix"]
+
+
+class BlockMatrix:
+    """A dense matrix partitioned into square q×q blocks.
+
+    Block indices are 1-based, matching the paper's notation
+    (``A_{i,k}``, ``B_{k,j}``, ``C_{i,j}``).
+    """
+
+    def __init__(self, data: np.ndarray, q: int):
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError(f"expected a 2-D array, got ndim={data.ndim}")
+        if q < 1:
+            raise ValueError(f"q must be >= 1, got {q}")
+        if data.shape[0] % q or data.shape[1] % q:
+            raise ValueError(f"shape {data.shape} not divisible by q={q}")
+        self._data = data
+        self.q = q
+        self.block_rows = data.shape[0] // q
+        self.block_cols = data.shape[1] // q
+
+    # -- constructors ---------------------------------------------------------
+    @staticmethod
+    def zeros(block_rows: int, block_cols: int, q: int) -> "BlockMatrix":
+        """All-zero matrix of the given block grid."""
+        return BlockMatrix(np.zeros((block_rows * q, block_cols * q)), q)
+
+    @staticmethod
+    def random(
+        block_rows: int,
+        block_cols: int,
+        q: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "BlockMatrix":
+        """Uniform(-1, 1) random matrix (seeded via ``rng``)."""
+        rng = rng if rng is not None else np.random.default_rng()
+        data = rng.uniform(-1.0, 1.0, size=(block_rows * q, block_cols * q))
+        return BlockMatrix(data, q)
+
+    # -- block access ------------------------------------------------------------
+    def _slice(self, bi: int, bj: int) -> Tuple[slice, slice]:
+        if not (1 <= bi <= self.block_rows and 1 <= bj <= self.block_cols):
+            raise IndexError(
+                f"block ({bi},{bj}) outside grid "
+                f"{self.block_rows}x{self.block_cols}"
+            )
+        q = self.q
+        return (slice((bi - 1) * q, bi * q), slice((bj - 1) * q, bj * q))
+
+    def block(self, bi: int, bj: int) -> np.ndarray:
+        """Return a *view* of block (bi, bj) (1-based)."""
+        rs, cs = self._slice(bi, bj)
+        return self._data[rs, cs]
+
+    def set_block(self, bi: int, bj: int, value: np.ndarray) -> None:
+        """Overwrite block (bi, bj) with ``value`` (must be q×q)."""
+        rs, cs = self._slice(bi, bj)
+        value = np.asarray(value, dtype=np.float64)
+        if value.shape != (self.q, self.q):
+            raise ValueError(f"expected {self.q}x{self.q} block, got {value.shape}")
+        self._data[rs, cs] = value
+
+    def update_block(self, ci: int, cj: int, a: np.ndarray, b: np.ndarray) -> None:
+        """In-place block update ``C_{ci,cj} += a @ b`` (the paper's kernel)."""
+        rs, cs = self._slice(ci, cj)
+        self._data[rs, cs] += a @ b
+
+    # -- whole-matrix views ----------------------------------------------------
+    @property
+    def array(self) -> np.ndarray:
+        """The underlying dense array (a view, not a copy)."""
+        return self._data
+
+    def copy(self) -> "BlockMatrix":
+        """Deep copy."""
+        return BlockMatrix(self._data.copy(), self.q)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Element-level shape."""
+        return self._data.shape
+
+    @property
+    def block_shape(self) -> Tuple[int, int]:
+        """Block-level shape ``(block_rows, block_cols)``."""
+        return (self.block_rows, self.block_cols)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BlockMatrix({self.block_rows}x{self.block_cols} blocks of "
+            f"{self.q}x{self.q})"
+        )

@@ -1,0 +1,115 @@
+"""The size view of a block matrix product: ``(r, s, t, q)``.
+
+Most of the paper's algorithms never touch matrix *values*; they schedule
+*block indices*.  :class:`ProblemShape` is that index space:
+
+* ``C`` blocks are ``(i, j)`` with ``1 ≤ i ≤ r``, ``1 ≤ j ≤ s``;
+* ``A`` blocks are ``(i, k)`` with ``1 ≤ k ≤ t``;
+* ``B`` blocks are ``(k, j)``.
+
+Computing ``C_ij`` requires the ``t`` updates
+``C_ij += A_ik · B_kj, k = 1..t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+__all__ = ["ProblemShape"]
+
+
+@dataclass(frozen=True)
+class ProblemShape:
+    """Block dimensions of one product ``C(r×s) += A(r×t) · B(t×s)``.
+
+    Attributes:
+        r: number of block rows of A and C.
+        s: number of block columns of B and C.
+        t: number of block columns of A = block rows of B.
+        q: elements per block side (only matters for element-level
+            accounting; schedulers work at block granularity).
+    """
+
+    r: int
+    s: int
+    t: int
+    q: int = 80
+
+    def __post_init__(self) -> None:
+        for field_name in ("r", "s", "t", "q"):
+            v = getattr(self, field_name)
+            if not isinstance(v, int) or v < 1:
+                raise ValueError(f"{field_name} must be a positive int, got {v!r}")
+
+    # -- element-level dimensions -------------------------------------------
+    @property
+    def n_a(self) -> int:
+        """Row dimension of A (and C) in elements."""
+        return self.r * self.q
+
+    @property
+    def n_ab(self) -> int:
+        """Inner dimension in elements."""
+        return self.t * self.q
+
+    @property
+    def n_b(self) -> int:
+        """Column dimension of B (and C) in elements."""
+        return self.s * self.q
+
+    @staticmethod
+    def from_elements(n_a: int, n_ab: int, n_b: int, q: int = 80) -> "ProblemShape":
+        """Build a shape from element dimensions (must be multiples of q).
+
+        Mirrors Section 8.3: e.g. A of 8000×8000 and B of 8000×64000 with
+        q = 80 gives ``r = t = 100`` and ``s = 800``.
+        """
+        for name, n in (("n_a", n_a), ("n_ab", n_ab), ("n_b", n_b)):
+            if n % q:
+                raise ValueError(f"{name}={n} is not a multiple of q={q}")
+        return ProblemShape(r=n_a // q, s=n_b // q, t=n_ab // q, q=q)
+
+    # -- counting -------------------------------------------------------------
+    @property
+    def c_blocks(self) -> int:
+        """Total number of C blocks, r·s."""
+        return self.r * self.s
+
+    @property
+    def total_updates(self) -> int:
+        """Total block updates for the whole product, r·s·t."""
+        return self.r * self.s * self.t
+
+    @property
+    def total_flops(self) -> int:
+        """Total floating-point operations, 2·q³ per update."""
+        return self.total_updates * 2 * self.q**3
+
+    # -- iteration --------------------------------------------------------------
+    def c_indices(self) -> Iterator[Tuple[int, int]]:
+        """Iterate all C block indices (i, j), row-major, 1-based."""
+        for i in range(1, self.r + 1):
+            for j in range(1, self.s + 1):
+                yield (i, j)
+
+    def check_c(self, i: int, j: int) -> None:
+        """Validate a C block index, raising ``IndexError`` when off-grid."""
+        if not (1 <= i <= self.r and 1 <= j <= self.s):
+            raise IndexError(f"C block ({i},{j}) outside grid {self.r}x{self.s}")
+
+    def check_a(self, i: int, k: int) -> None:
+        """Validate an A block index."""
+        if not (1 <= i <= self.r and 1 <= k <= self.t):
+            raise IndexError(f"A block ({i},{k}) outside grid {self.r}x{self.t}")
+
+    def check_b(self, k: int, j: int) -> None:
+        """Validate a B block index."""
+        if not (1 <= k <= self.t and 1 <= j <= self.s):
+            raise IndexError(f"B block ({k},{j}) outside grid {self.t}x{self.s}")
+
+    def __str__(self) -> str:
+        return (
+            f"ProblemShape(r={self.r}, s={self.s}, t={self.t}, q={self.q}; "
+            f"A {self.n_a}x{self.n_ab}, B {self.n_ab}x{self.n_b})"
+        )

@@ -1,0 +1,57 @@
+"""Numerical verification helpers for executed schedules.
+
+A schedule is *numerically correct* when the C matrix it produces equals
+``C0 + A·B`` computed directly by numpy.  These helpers build seeded
+random instances and compare results with a norm-aware tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.blocks.matrix import BlockMatrix
+from repro.blocks.shape import ProblemShape
+
+__all__ = ["make_product_instance", "verify_product", "max_block_error"]
+
+
+def make_product_instance(
+    shape: ProblemShape, seed: int = 0
+) -> Tuple[BlockMatrix, BlockMatrix, BlockMatrix]:
+    """Build seeded random ``(A, B, C0)`` matrices matching ``shape``.
+
+    Returns matrices with block grids ``r×t``, ``t×s`` and ``r×s``.
+    """
+    rng = np.random.default_rng(seed)
+    a = BlockMatrix.random(shape.r, shape.t, shape.q, rng)
+    b = BlockMatrix.random(shape.t, shape.s, shape.q, rng)
+    c = BlockMatrix.random(shape.r, shape.s, shape.q, rng)
+    return a, b, c
+
+
+def verify_product(
+    a: BlockMatrix,
+    b: BlockMatrix,
+    c0: BlockMatrix,
+    c_result: BlockMatrix,
+    rtol: float = 1e-10,
+) -> bool:
+    """True when ``c_result == c0 + a·b`` up to relative tolerance.
+
+    The tolerance is scaled by the reference's infinity norm so that large
+    inner dimensions (many accumulated updates) do not trip spurious
+    failures.
+    """
+    reference = c0.array + a.array @ b.array
+    scale = max(1.0, float(np.abs(reference).max()))
+    return bool(np.allclose(c_result.array, reference, rtol=rtol, atol=rtol * scale))
+
+
+def max_block_error(
+    a: BlockMatrix, b: BlockMatrix, c0: BlockMatrix, c_result: BlockMatrix
+) -> float:
+    """Largest absolute element error of ``c_result`` vs ``c0 + a·b``."""
+    reference = c0.array + a.array @ b.array
+    return float(np.abs(c_result.array - reference).max())

@@ -1,0 +1,155 @@
+"""Worker memory layouts: splitting ``m`` block buffers among A, B, C.
+
+The paper's layouts, all parameterised by a *chunk size* µ:
+
+* **Maximum re-use** (Section 4.1): ``1 + µ + µ² ≤ m`` — one A buffer, a
+  row of µ B buffers, a µ×µ tile of C.  Minimises communications per
+  computation on a single worker; no overlap of communication with
+  computation.
+* **Overlap layout** (Section 5): ``µ² + 4µ ≤ m`` — the µ×µ C tile plus
+  *two* generations of (µ A + µ B) buffers so the next update's data can
+  arrive while the current one computes.  Used by HoLM / ORROML /
+  OMMOML / ODDOML.
+* **No-overlap layout**: ``µ² + 2µ ≤ m`` — a single generation of A/B
+  buffers.  Used by DDOML ("the algorithm has no extra buffer, so the
+  memory available to store A, B, and C is greater").
+* **Toledo thirds** (BMM): memory split equally into three square-tile
+  slots of side ``sqrt(m/3)`` blocks for A, B and C.
+* **Overlapped Toledo fifths** (OBMM): five parts, so one A and one B
+  tile can stream in while the previous pair updates C.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "max_reuse_mu",
+    "mu_overlap",
+    "mu_no_overlap",
+    "toledo_split",
+    "overlapped_toledo_split",
+    "MemoryLayout",
+]
+
+
+def _check_m(m: int, minimum: int) -> None:
+    if not isinstance(m, int):
+        raise TypeError(f"m must be an int, got {type(m).__name__}")
+    if m < minimum:
+        raise ValueError(f"memory m={m} too small (need at least {minimum} blocks)")
+
+
+def max_reuse_mu(m: int) -> int:
+    """Largest µ with ``1 + µ + µ² ≤ m`` (maximum re-use layout).
+
+    E.g. ``m=21 → µ=4`` (1 A buffer + 4 B buffers + 16 C buffers, Fig. 5).
+    """
+    _check_m(m, 3)
+    # mu = floor of positive root of mu^2 + mu + (1 - m) = 0.
+    mu = int((math.isqrt(4 * m - 3) - 1) // 2)
+    while (mu + 1) * (mu + 1) + (mu + 1) + 1 <= m:  # guard fp edge cases
+        mu += 1
+    while mu * mu + mu + 1 > m:
+        mu -= 1
+    if mu < 1:
+        raise ValueError(f"memory m={m} cannot hold the max-re-use layout")
+    return mu
+
+
+def mu_overlap(m: int) -> int:
+    """Largest µ with ``µ² + 4µ ≤ m`` (overlap layout, Algorithm 1).
+
+    The paper computes it as ``µ = floor(sqrt(4 + m) - 2)``.
+    """
+    _check_m(m, 5)
+    mu = int(math.isqrt(m + 4)) - 2
+    while (mu + 1) ** 2 + 4 * (mu + 1) <= m:
+        mu += 1
+    while mu * mu + 4 * mu > m:
+        mu -= 1
+    if mu < 1:
+        raise ValueError(f"memory m={m} cannot hold the overlap layout")
+    return mu
+
+
+def mu_no_overlap(m: int) -> int:
+    """Largest µ with ``µ² + 2µ ≤ m`` (single-generation layout, DDOML)."""
+    _check_m(m, 3)
+    mu = int(math.isqrt(m + 1)) - 1
+    while (mu + 1) ** 2 + 2 * (mu + 1) <= m:
+        mu += 1
+    while mu * mu + 2 * mu > m:
+        mu -= 1
+    if mu < 1:
+        raise ValueError(f"memory m={m} cannot hold the no-overlap layout")
+    return mu
+
+
+def toledo_split(m: int) -> int:
+    """Tile side for Toledo's BMM layout: memory in three equal parts.
+
+    Each of A, B, C gets ``m // 3`` buffers arranged as the largest
+    possible square tile; returns its side ``floor(sqrt(m/3))`` in blocks.
+    """
+    _check_m(m, 3)
+    side = math.isqrt(m // 3)
+    if side < 1:
+        raise ValueError(f"memory m={m} too small for the Toledo split")
+    return side
+
+
+def overlapped_toledo_split(m: int) -> int:
+    """Tile side for OBMM: memory in five parts (C + two A/B generations)."""
+    _check_m(m, 5)
+    side = math.isqrt(m // 5)
+    if side < 1:
+        raise ValueError(f"memory m={m} too small for the OBMM split")
+    return side
+
+
+@dataclass(frozen=True)
+class MemoryLayout:
+    """A concrete buffer assignment on one worker.
+
+    Attributes:
+        mu: chunk side — the worker holds a µ×µ tile of C.
+        a_buffers: buffers reserved for A blocks.
+        b_buffers: buffers reserved for B blocks.
+        c_buffers: buffers reserved for C blocks (µ²).
+        overlap: whether a second generation of A/B buffers exists.
+    """
+
+    mu: int
+    a_buffers: int
+    b_buffers: int
+    c_buffers: int
+    overlap: bool
+
+    @property
+    def total(self) -> int:
+        """Total buffers used."""
+        return self.a_buffers + self.b_buffers + self.c_buffers
+
+    @staticmethod
+    def max_reuse(m: int) -> "MemoryLayout":
+        """The Section 4.1 layout: 1 A, µ B, µ² C buffers."""
+        mu = max_reuse_mu(m)
+        return MemoryLayout(mu, 1, mu, mu * mu, overlap=False)
+
+    @staticmethod
+    def overlapped(m: int) -> "MemoryLayout":
+        """The Section 5 layout: 2µ A, 2µ B, µ² C buffers."""
+        mu = mu_overlap(m)
+        return MemoryLayout(mu, 2 * mu, 2 * mu, mu * mu, overlap=True)
+
+    @staticmethod
+    def single_generation(m: int) -> "MemoryLayout":
+        """The DDOML layout: µ A, µ B, µ² C buffers, no overlap."""
+        mu = mu_no_overlap(m)
+        return MemoryLayout(mu, mu, mu, mu * mu, overlap=False)
+
+    def fits(self, m: int) -> bool:
+        """True when the layout fits into ``m`` buffers."""
+        return self.total <= m

@@ -1,0 +1,37 @@
+"""Master-worker execution engine.
+
+Runs a scheduling algorithm against a :class:`~repro.platform.Platform`
+inside the discrete-event simulator, under the strict one-port model:
+
+* every master↔worker transfer holds the master's port resource for
+  ``blocks × c_i`` seconds;
+* workers compute delivered phases FIFO at ``w_i`` per block update;
+* buffer-generation gating enforces each algorithm's memory layout
+  (a worker with one spare A/B generation may receive phase ``j`` only
+  once phase ``j−2`` has been computed; without spare buffers, once
+  phase ``j−1`` has been computed);
+* the result C blocks return to the master before the run completes.
+
+Outputs a :class:`~repro.engine.trace.Trace` with every communication
+and computation interval, from which makespan, communication volume,
+CCR, utilisation and Gantt charts are derived.  When real
+:class:`~repro.blocks.BlockMatrix` data is attached, the engine also
+performs the numerical block updates so tests can verify that the
+schedule really computes ``C + A·B``.
+"""
+
+from repro.engine.chunks import Chunk, Phase, tile_chunks, toledo_chunks
+from repro.engine.engine import Engine, run_scheduler
+from repro.engine.trace import CommInterval, ComputeInterval, Trace
+
+__all__ = [
+    "Chunk",
+    "CommInterval",
+    "ComputeInterval",
+    "Engine",
+    "Phase",
+    "Trace",
+    "run_scheduler",
+    "tile_chunks",
+    "toledo_chunks",
+]

@@ -1,0 +1,162 @@
+"""Chunks and phases: the work units the master hands to workers.
+
+A **chunk** is a rectangular tile of C blocks (``row_range ×
+col_range``) assigned to one worker: the worker receives the tile,
+applies every inner-dimension update to it, and returns it.  A **phase**
+is one delivery-plus-update step within a chunk, covering a contiguous
+range of the inner dimension ``k``:
+
+* the paper's optimized layout uses tiles of side µ and *single-k*
+  phases (µ A blocks + µ B blocks enable µ² updates);
+* Toledo's BMM layout uses tiles of side σ = ``floor(sqrt(m/3))`` and
+  σ-wide phases (σ² A blocks + σ² B blocks enable σ³ updates).
+
+Ranges are half-open 0-based ``(start, stop)`` over block indices, so
+numeric execution reduces to contiguous numpy slice updates
+``C[r0:r1, c0:c1] += A[r0:r1, k0:k1] @ B[k0:k1, c0:c1]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.blocks.shape import ProblemShape
+
+__all__ = ["Phase", "Chunk", "tile_chunks", "toledo_chunks", "check_chunk_cover"]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One delivery-plus-update step of a chunk.
+
+    Attributes:
+        k_range: half-open block range of the inner dimension covered.
+        a_blocks: A blocks delivered (= phase rows × k width).
+        b_blocks: B blocks delivered (= k width × chunk cols).
+        updates: block updates enabled (= phase rows × cols × k width).
+        row_range: optional half-open row sub-range when the phase
+            updates only part of the chunk's rows (used by the
+            fine-grained maximum re-use streaming); ``None`` means the
+            chunk's full row range.
+    """
+
+    k_range: tuple[int, int]
+    a_blocks: int
+    b_blocks: int
+    updates: int
+    row_range: tuple[int, int] | None = None
+
+    @property
+    def in_blocks(self) -> int:
+        """Total blocks shipped to the worker for this phase."""
+        return self.a_blocks + self.b_blocks
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A tile of C assigned to one worker, with its phase decomposition.
+
+    Attributes:
+        row_range: half-open block-row range of the C tile.
+        col_range: half-open block-column range of the C tile.
+        phases: the ordered phases covering the full inner dimension.
+    """
+
+    row_range: tuple[int, int]
+    col_range: tuple[int, int]
+    phases: tuple[Phase, ...]
+
+    @property
+    def rows(self) -> int:
+        """Tile height in blocks."""
+        return self.row_range[1] - self.row_range[0]
+
+    @property
+    def cols(self) -> int:
+        """Tile width in blocks."""
+        return self.col_range[1] - self.col_range[0]
+
+    @property
+    def c_blocks(self) -> int:
+        """Number of C blocks in the tile."""
+        return self.rows * self.cols
+
+    @property
+    def updates(self) -> int:
+        """Total block updates over all phases."""
+        return sum(ph.updates for ph in self.phases)
+
+    @property
+    def comm_blocks(self) -> int:
+        """Total blocks moved for this chunk: C in + A/B in + C out."""
+        return 2 * self.c_blocks + sum(ph.in_blocks for ph in self.phases)
+
+
+def _ranges(total: int, width: int) -> list[tuple[int, int]]:
+    """Split ``0..total`` into half-open ranges of at most ``width``."""
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    return [(lo, min(lo + width, total)) for lo in range(0, total, width)]
+
+
+def _build_chunks(shape: ProblemShape, tile: int, k_width: int) -> list[Chunk]:
+    chunks: list[Chunk] = []
+    k_ranges = _ranges(shape.t, k_width)
+    for col_range in _ranges(shape.s, tile):
+        for row_range in _ranges(shape.r, tile):
+            rows = row_range[1] - row_range[0]
+            cols = col_range[1] - col_range[0]
+            phases = tuple(
+                Phase(
+                    k_range=kr,
+                    a_blocks=rows * (kr[1] - kr[0]),
+                    b_blocks=(kr[1] - kr[0]) * cols,
+                    updates=rows * cols * (kr[1] - kr[0]),
+                )
+                for kr in k_ranges
+            )
+            chunks.append(Chunk(row_range, col_range, phases))
+    return chunks
+
+
+def tile_chunks(shape: ProblemShape, mu: int) -> list[Chunk]:
+    """µ×µ tiles with single-k phases — the paper's optimized layout.
+
+    Tiles are emitted column-panel-major (all row tiles of a column
+    panel before the next panel), matching Algorithm 1's loop order.
+    Edge tiles are ragged when ``r`` or ``s`` is not divisible by µ.
+    """
+    if mu < 1:
+        raise ValueError(f"mu must be >= 1, got {mu}")
+    return _build_chunks(shape, tile=mu, k_width=1)
+
+
+def toledo_chunks(shape: ProblemShape, sigma: int) -> list[Chunk]:
+    """σ×σ tiles with σ-wide phases — Toledo's BMM memory layout."""
+    if sigma < 1:
+        raise ValueError(f"sigma must be >= 1, got {sigma}")
+    return _build_chunks(shape, tile=sigma, k_width=sigma)
+
+
+def check_chunk_cover(shape: ProblemShape, chunks: Sequence[Chunk]) -> None:
+    """Validate that ``chunks`` tile the C grid exactly once and cover
+    the full inner dimension.  Raises ``ValueError`` on any violation.
+    """
+    seen: set[tuple[int, int]] = set()
+    for ch in chunks:
+        expected = ch.rows * ch.cols * shape.t
+        if ch.updates != expected:
+            raise ValueError(
+                f"chunk {ch.row_range}x{ch.col_range} performs {ch.updates} "
+                f"updates, expected {expected}"
+            )
+        for i in range(*ch.row_range):
+            for j in range(*ch.col_range):
+                if (i, j) in seen:
+                    raise ValueError(f"C block ({i},{j}) covered twice")
+                seen.add((i, j))
+    if len(seen) != shape.r * shape.s:
+        raise ValueError(
+            f"chunks cover {len(seen)} C blocks, expected {shape.r * shape.s}"
+        )

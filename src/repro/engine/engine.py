@@ -1,0 +1,269 @@
+"""The engine proper: simulate a scheduler on a platform.
+
+Architecture: one simulation *agent* (a kernel process) per worker.
+Each agent processes its stream of chunks sequentially — receive the C
+tile, stream phases under the buffer-generation gate, return the C tile
+— while all transfers contend for the master's one-port resource (FIFO).
+Static algorithms precompute per-worker chunk lists; demand-driven
+algorithms share a single chunk queue that agents pop as they become
+free, so "send the next chunk to the first available worker" emerges
+from the event ordering.
+
+Worker computation needs no separate process: phases are computed FIFO,
+so each phase's compute interval is ``[max(arrival, previous end),
+… + updates·w_i]``, recorded as it is scheduled.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Generator, Iterable, Optional, Protocol, Sequence
+
+from repro.blocks.matrix import BlockMatrix
+from repro.blocks.shape import ProblemShape
+from repro.engine.chunks import Chunk, Phase
+from repro.engine.trace import CommInterval, ComputeInterval, Trace
+from repro.platform.model import Platform
+from repro.sim.core import Environment
+from repro.sim.resources import Resource
+
+__all__ = ["Engine", "ChunkQueue", "run_scheduler", "SchedulerProtocol"]
+
+
+class ChunkQueue:
+    """Shared FIFO of chunks for demand-driven dispatch."""
+
+    def __init__(self, chunks: Iterable[Chunk]):
+        self._chunks = list(chunks)
+        self._next = 0
+
+    def pop(self) -> Optional[Chunk]:
+        """Next chunk, or ``None`` when exhausted."""
+        if self._next >= len(self._chunks):
+            return None
+        chunk = self._chunks[self._next]
+        self._next += 1
+        return chunk
+
+    def __len__(self) -> int:
+        return len(self._chunks) - self._next
+
+
+class Engine:
+    """Simulation state shared by all agents of one run."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        shape: ProblemShape,
+        data: Optional[tuple[BlockMatrix, BlockMatrix, BlockMatrix]] = None,
+        two_port: bool = False,
+        check_memory: bool = True,
+    ):
+        self.platform = platform
+        self.shape = shape
+        self.data = data
+        self.check_memory = check_memory
+        self.env = Environment()
+        self.send_port = Resource(self.env, capacity=1)
+        self.recv_port = Resource(self.env, capacity=1) if two_port else self.send_port
+        self.two_port = two_port
+        self.trace = Trace()
+        p = platform.p
+        self.compute_done = [0.0] * p
+        self._mem_used = [0] * p
+        self._pending_free: list[list[tuple[float, int]]] = [[] for _ in range(p)]
+        if data is not None:
+            a, b, c = data
+            if a.block_shape != (shape.r, shape.t):
+                raise ValueError(f"A grid {a.block_shape} != ({shape.r},{shape.t})")
+            if b.block_shape != (shape.t, shape.s):
+                raise ValueError(f"B grid {b.block_shape} != ({shape.t},{shape.s})")
+            if c.block_shape != (shape.r, shape.s):
+                raise ValueError(f"C grid {c.block_shape} != ({shape.r},{shape.s})")
+
+    # -- memory bookkeeping (lazy release keeps peaks exact) -----------------
+    def _release_expired(self, widx: int) -> None:
+        now = self.env.now
+        pending = self._pending_free[widx]
+        keep: list[tuple[float, int]] = []
+        for end, blocks in pending:
+            if end <= now + 1e-12:
+                self._mem_used[widx] -= blocks
+            else:
+                keep.append((end, blocks))
+        self._pending_free[widx] = keep
+
+    def alloc(self, widx: int, blocks: int) -> None:
+        """Claim ``blocks`` buffers on worker ``widx`` (0-based) now."""
+        self._release_expired(widx)
+        self._mem_used[widx] += blocks
+        self.trace.note_memory(widx + 1, self._mem_used[widx])
+        if self.check_memory:
+            cap = self.platform.workers[widx].m
+            if self._mem_used[widx] > cap:
+                raise RuntimeError(
+                    f"worker P{widx + 1} memory exceeded: "
+                    f"{self._mem_used[widx]} > {cap} blocks at t={self.env.now:g}"
+                )
+
+    def free_at(self, widx: int, blocks: int, when: float) -> None:
+        """Release ``blocks`` buffers at simulated time ``when``."""
+        self._pending_free[widx].append((when, blocks))
+
+    def free_now(self, widx: int, blocks: int) -> None:
+        """Release ``blocks`` buffers immediately."""
+        self._release_expired(widx)
+        self._mem_used[widx] -= blocks
+
+    # -- port operations ---------------------------------------------------------
+    def send(self, widx: int, blocks: int, label: str = "") -> Generator:
+        """Hold the outbound port for ``blocks·c_i``; returns arrival time."""
+        wk = self.platform.workers[widx]
+        with self.send_port.request() as req:
+            yield req
+            start = self.env.now
+            yield self.env.timeout(blocks * wk.c)
+            self.trace.add_comm(
+                CommInterval(widx + 1, "send", start, self.env.now, blocks, label, 0)
+            )
+        return self.env.now
+
+    def receive(self, widx: int, blocks: int, label: str = "") -> Generator:
+        """Hold the inbound port for ``blocks·c_i`` (worker → master)."""
+        wk = self.platform.workers[widx]
+        port_id = 1 if self.two_port else 0
+        with self.recv_port.request() as req:
+            yield req
+            start = self.env.now
+            yield self.env.timeout(blocks * wk.c)
+            self.trace.add_comm(
+                CommInterval(widx + 1, "recv", start, self.env.now, blocks, label, port_id)
+            )
+        return self.env.now
+
+    def wait_until(self, when: float) -> Generator:
+        """Advance the calling agent to simulated time ``when``."""
+        if when > self.env.now:
+            yield self.env.timeout(when - self.env.now)
+
+    # -- computation ---------------------------------------------------------------
+    def queue_compute(
+        self, widx: int, updates: int, arrival: float, label: str = ""
+    ) -> float:
+        """Schedule a phase's computation; returns its completion time."""
+        wk = self.platform.workers[widx]
+        start = max(arrival, self.compute_done[widx])
+        end = start + updates * wk.w
+        self.compute_done[widx] = end
+        self.trace.add_compute(ComputeInterval(widx + 1, start, end, updates, label))
+        return end
+
+    def execute_phase(self, chunk: Chunk, phase: Phase) -> None:
+        """Apply the phase's block updates to the attached matrices."""
+        if self.data is None:
+            return
+        a, b, c = self.data
+        q = self.shape.q
+        r0, r1 = phase.row_range if phase.row_range is not None else chunk.row_range
+        c0, c1 = chunk.col_range
+        k0, k1 = phase.k_range
+        c.array[r0 * q : r1 * q, c0 * q : c1 * q] += (
+            a.array[r0 * q : r1 * q, k0 * q : k1 * q]
+            @ b.array[k0 * q : k1 * q, c0 * q : c1 * q]
+        )
+
+    # -- the chunk protocol -----------------------------------------------------
+    def process_chunk(self, widx: int, chunk: Chunk, generation_gap: int) -> Generator:
+        """Run one chunk on worker ``widx`` (0-based).
+
+        ``generation_gap`` is 2 for layouts with a spare A/B buffer
+        generation (overlapped algorithms) and 1 otherwise: the send of
+        phase ``j`` may not start before the computation of phase
+        ``j − generation_gap`` has finished.
+        """
+        if generation_gap not in (1, 2):
+            raise ValueError(f"generation_gap must be 1 or 2, got {generation_gap}")
+        self.alloc(widx, chunk.c_blocks)
+        yield from self.send(widx, chunk.c_blocks, label="C-in")
+        ends: list[float] = []
+        for idx, phase in enumerate(chunk.phases):
+            if idx >= generation_gap:
+                yield from self.wait_until(ends[idx - generation_gap])
+            self.alloc(widx, phase.in_blocks)
+            arrival = yield from self.send(
+                widx, phase.in_blocks, label=f"AB[{phase.k_range[0]}:{phase.k_range[1]})"
+            )
+            end = self.queue_compute(
+                widx, phase.updates, arrival,
+                label=f"upd[{phase.k_range[0]}:{phase.k_range[1]})",
+            )
+            self.free_at(widx, phase.in_blocks, end)
+            self.execute_phase(chunk, phase)
+            ends.append(end)
+        yield from self.wait_until(self.compute_done[widx])
+        yield from self.receive(widx, chunk.c_blocks, label="C-out")
+        self.free_now(widx, chunk.c_blocks)
+
+    def static_agent(
+        self, widx: int, chunks: Sequence[Chunk], generation_gap: int
+    ) -> Generator:
+        """Agent processing a fixed chunk list in order."""
+        for chunk in chunks:
+            yield from self.process_chunk(widx, chunk, generation_gap)
+
+    def demand_agent(
+        self, widx: int, queue: ChunkQueue, generation_gap: int
+    ) -> Generator:
+        """Agent popping chunks from a shared queue whenever it is free."""
+        while True:
+            chunk = queue.pop()
+            if chunk is None:
+                return
+            yield from self.process_chunk(widx, chunk, generation_gap)
+
+
+class SchedulerProtocol(Protocol):
+    """What the engine requires of a scheduler.
+
+    ``launch(engine)`` must create the run's agents as kernel processes
+    (via ``engine.env.process``) and may keep references for reporting.
+    """
+
+    name: str
+
+    def launch(self, engine: Engine) -> None:  # pragma: no cover - protocol
+        ...
+
+
+def run_scheduler(
+    scheduler: "SchedulerProtocol",
+    platform: Platform,
+    shape: ProblemShape,
+    data: Optional[tuple[BlockMatrix, BlockMatrix, BlockMatrix]] = None,
+    two_port: bool = False,
+    check_memory: bool = True,
+    check_invariants: bool = True,
+) -> Trace:
+    """Simulate ``scheduler`` on ``platform`` and return the trace.
+
+    When ``data`` is supplied the block updates are executed numerically
+    (C is modified in place).  ``check_memory`` enforces each worker's
+    ``m_i`` capacity online; ``check_invariants`` validates the one-port
+    and sequential-compute properties after the run.
+    """
+    engine = Engine(
+        platform, shape, data=data, two_port=two_port, check_memory=check_memory
+    )
+    scheduler.launch(engine)
+    engine.env.run()
+    if check_invariants:
+        engine.trace.check_invariants()
+    expected = shape.total_updates
+    got = engine.trace.total_updates
+    if got != expected:
+        raise RuntimeError(
+            f"{scheduler.name}: executed {got} block updates, expected {expected}"
+        )
+    return engine.trace

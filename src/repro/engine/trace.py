@@ -1,0 +1,155 @@
+"""Execution traces: every timed interval of a simulated run.
+
+A :class:`Trace` records
+
+* **communication intervals** — each master-port hold, with direction,
+  worker, block count and a label,
+* **computation intervals** — each worker-side phase execution,
+* per-worker **memory high-water marks**.
+
+It derives the metrics used throughout the experiments (makespan,
+communication volume, CCR, port/worker utilisation, enrolled workers)
+and checks the model's structural invariants (port holds never overlap,
+per-worker computations never overlap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = ["CommInterval", "ComputeInterval", "Trace"]
+
+
+@dataclass(frozen=True)
+class CommInterval:
+    """One master-port hold.
+
+    Attributes:
+        worker: 1-based worker index.
+        direction: ``"send"`` (master→worker) or ``"recv"``.
+        start: port acquisition time.
+        end: port release time.
+        blocks: blocks transferred.
+        label: human-readable description (e.g. ``"C-tile"``).
+        port: port id (0 for the single one-port; 1 for the receive port
+            in the two-port ablation).
+    """
+
+    worker: int
+    direction: str
+    start: float
+    end: float
+    blocks: int
+    label: str = ""
+    port: int = 0
+
+
+@dataclass(frozen=True)
+class ComputeInterval:
+    """One worker-side phase execution."""
+
+    worker: int
+    start: float
+    end: float
+    updates: int
+    label: str = ""
+
+
+@dataclass
+class Trace:
+    """Timed record of one engine run."""
+
+    comms: list[CommInterval] = field(default_factory=list)
+    computes: list[ComputeInterval] = field(default_factory=list)
+    memory_peak: dict[int, int] = field(default_factory=dict)
+
+    # -- recording -----------------------------------------------------------
+    def add_comm(self, interval: CommInterval) -> None:
+        """Append a communication interval."""
+        self.comms.append(interval)
+
+    def add_compute(self, interval: ComputeInterval) -> None:
+        """Append a computation interval."""
+        self.computes.append(interval)
+
+    def note_memory(self, worker: int, blocks_in_use: int) -> None:
+        """Record a worker's instantaneous buffer usage (keeps the max)."""
+        cur = self.memory_peak.get(worker, 0)
+        if blocks_in_use > cur:
+            self.memory_peak[worker] = blocks_in_use
+
+    # -- metrics -----------------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        """Time the last communication or computation finishes."""
+        last_comm = max((c.end for c in self.comms), default=0.0)
+        last_comp = max((c.end for c in self.computes), default=0.0)
+        return max(last_comm, last_comp)
+
+    @property
+    def comm_blocks(self) -> int:
+        """Total blocks moved through the master."""
+        return sum(c.blocks for c in self.comms)
+
+    @property
+    def total_updates(self) -> int:
+        """Total block updates computed."""
+        return sum(c.updates for c in self.computes)
+
+    @property
+    def ccr(self) -> float:
+        """Communication-to-computation ratio, in blocks per update."""
+        updates = self.total_updates
+        if updates == 0:
+            raise ValueError("no computation recorded; CCR undefined")
+        return self.comm_blocks / updates
+
+    @property
+    def enrolled_workers(self) -> tuple[int, ...]:
+        """Sorted indices of workers that computed at least one update."""
+        return tuple(sorted({c.worker for c in self.computes if c.updates}))
+
+    def port_busy_time(self, port: int = 0) -> float:
+        """Total time the given port was held."""
+        return sum(c.end - c.start for c in self.comms if c.port == port)
+
+    def port_utilisation(self, port: int = 0) -> float:
+        """Busy fraction of the given port over the makespan."""
+        span = self.makespan
+        return self.port_busy_time(port) / span if span > 0 else 0.0
+
+    def worker_busy_time(self, worker: int) -> float:
+        """Total compute time of one worker."""
+        return sum(c.end - c.start for c in self.computes if c.worker == worker)
+
+    def worker_utilisation(self, worker: int) -> float:
+        """Busy fraction of one worker over the makespan."""
+        span = self.makespan
+        return self.worker_busy_time(worker) / span if span > 0 else 0.0
+
+    # -- invariants -----------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Validate the one-port and sequential-compute invariants.
+
+        Raises ``AssertionError`` listing the first violation found.
+        """
+        tol = 1e-9
+        by_port: dict[int, list[CommInterval]] = {}
+        for c in self.comms:
+            by_port.setdefault(c.port, []).append(c)
+        for port, intervals in by_port.items():
+            ordered = sorted(intervals, key=lambda c: (c.start, c.end))
+            for prev, nxt in zip(ordered, ordered[1:]):
+                assert nxt.start >= prev.end - tol, (
+                    f"port {port} overlap: {prev} then {nxt}"
+                )
+        by_worker: dict[int, list[ComputeInterval]] = {}
+        for k in self.computes:
+            by_worker.setdefault(k.worker, []).append(k)
+        for worker, intervals in by_worker.items():
+            ordered = sorted(intervals, key=lambda c: (c.start, c.end))
+            for prev, nxt in zip(ordered, ordered[1:]):
+                assert nxt.start >= prev.end - tol, (
+                    f"worker {worker} compute overlap: {prev} then {nxt}"
+                )

@@ -1,0 +1,55 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes ``run(...) -> list[dict]`` returning the rows the
+paper's corresponding table/figure reports, plus a ``main()`` that
+prints them.  The ``benchmarks/`` directory wraps these in
+pytest-benchmark targets; the CLI (``python -m repro``) runs them by
+name.
+
+| Module              | Reproduces                                             |
+|---------------------|--------------------------------------------------------|
+| ``fig04``           | Fig. 4 — Thrifty vs Min-min counterexamples            |
+| ``bounds``          | §4 — CCR of max-re-use vs the lower bounds             |
+| ``maxreuse_trace``  | Figs. 5/6 — max-re-use memory layout walk              |
+| ``table1``          | Table 1 — bandwidth-centric memory infeasibility       |
+| ``table2``          | Table 2 + Figs. 7/8 — selection-algorithm ratios       |
+| ``fig10``           | Fig. 10 — 7 algorithms × 3 matrix sizes                |
+| ``fig11``           | Fig. 11 — run-to-run variation                         |
+| ``fig12``           | Fig. 12 — impact of block size q                       |
+| ``fig13``           | Fig. 13 — impact of worker memory size                 |
+| ``lu``              | §7 — LU cost model and pivot-size search               |
+| ``hetero``          | §6/§8 — heterogeneity-degree sweep (announced in §8)   |
+| ``ablations``       | design-choice ablations (one-port, overlap, lookahead) |
+"""
+
+from repro.experiments import (  # noqa: F401  (re-exported for the CLI)
+    ablations,
+    bounds,
+    fig04,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    hetero,
+    lu,
+    maxreuse_trace,
+    table1,
+    table2,
+)
+
+ALL_EXPERIMENTS = {
+    "fig04": fig04,
+    "bounds": bounds,
+    "maxreuse": maxreuse_trace,
+    "table1": table1,
+    "table2": table2,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "lu": lu,
+    "hetero": hetero,
+    "ablations": ablations,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

@@ -1,0 +1,118 @@
+"""Design-choice ablations (DESIGN.md Section 5).
+
+* **one-port vs two-port master** — the paper adopts the strict
+  one-port model; the two-port variant lets the master send and receive
+  simultaneously.  Quantifies what the modelling choice costs.
+* **overlap vs no-overlap layout** — µ²+4µ (spare A/B generation)
+  versus µ²+2µ (bigger tiles, serialized receive/compute), i.e. the
+  ODDOML-vs-DDOML design axis, swept across memory sizes.
+* **start-up overhead** — measured fraction of time lost to C-tile
+  I/O versus the paper's analytical bound ``µ/t + 2c/(tw)``.
+* **lookahead depth** — selection ratio vs depth on Table 2.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.blocks.shape import ProblemShape
+from repro.core.heterogeneous import lookahead_selection
+from repro.core.homogeneous import startup_overhead_fraction
+from repro.core.layout import mu_overlap
+from repro.engine import run_scheduler
+from repro.platform.model import Platform
+from repro.platform.named import table2_platform, ut_cluster_platform
+from repro.schedulers import DDOML, HoLM, ODDOML
+
+__all__ = ["run_ports", "run_overlap", "run_startup", "run_lookahead", "main"]
+
+
+def run_ports(scale: int = 8) -> list[dict]:
+    """HoLM under one-port vs two-port masters."""
+    from repro.workloads import FIG10_WORKLOADS
+
+    shape = FIG10_WORKLOADS[0].scaled(scale).shape(80)
+    platform = ut_cluster_platform(p=8)
+    rows = []
+    for two_port in (False, True):
+        trace = run_scheduler(HoLM(), platform, shape, two_port=two_port)
+        rows.append(
+            {
+                "model": "two-port" if two_port else "one-port",
+                "makespan_s": trace.makespan,
+                "send_port_util": trace.port_utilisation(0),
+            }
+        )
+    base = rows[0]["makespan_s"]
+    for row in rows:
+        row["vs_one_port_pct"] = 100.0 * (row["makespan_s"] - base) / base
+    return rows
+
+
+def run_overlap(memories: tuple[int, ...] = (24, 60, 120, 360, 1200)) -> list[dict]:
+    """ODDOML (overlap) vs DDOML (bigger µ, no overlap) across memory."""
+    shape = ProblemShape(r=24, s=36, t=12, q=16)
+    rows = []
+    for m in memories:
+        platform = Platform.homogeneous(4, c=0.2, w=0.1, m=m)
+        t_over = run_scheduler(ODDOML(), platform, shape).makespan
+        t_flat = run_scheduler(DDOML(), platform, shape).makespan
+        rows.append(
+            {
+                "m_blocks": m,
+                "mu_overlap": mu_overlap(m),
+                "oddoml_s": t_over,
+                "ddoml_s": t_flat,
+                "overlap_gain_pct": 100.0 * (t_flat - t_over) / t_over,
+            }
+        )
+    return rows
+
+
+def run_startup(t_values: tuple[int, ...] = (10, 25, 50, 100)) -> list[dict]:
+    """Measured C-tile overhead vs the paper's bound ``µ/t + 2c/tw``."""
+    rows = []
+    c, w = 2.0, 4.5  # the paper's own example values
+    for t in t_values:
+        m = 21  # µ = 3 under the overlap layout
+        mu = mu_overlap(m)
+        platform = Platform.homogeneous(1, c=c, w=w, m=m)
+        shape = ProblemShape(r=mu, s=mu, t=t, q=8)
+        trace = run_scheduler(HoLM(), platform, shape)
+        # Time attributable to C traffic = 2µ²c per chunk (1 chunk here).
+        c_io = 2 * mu * mu * c
+        rows.append(
+            {
+                "t": t,
+                "mu": mu,
+                "c_io_fraction": c_io / trace.makespan,
+                "paper_bound": startup_overhead_fraction(mu, t, c, w),
+            }
+        )
+    return rows
+
+
+def run_lookahead(depths: tuple[int, ...] = (1, 2, 3)) -> list[dict]:
+    """Selection ratio vs lookahead depth on the Table 2 platform."""
+    platform = table2_platform()
+    rows = []
+    for depth in depths:
+        sel = lookahead_selection(
+            platform, 10**6, 10**7, 10**6, depth=depth, max_steps=1200
+        )
+        rows.append({"depth": depth, "ratio": sel.ratio})
+    return rows
+
+
+def main() -> None:
+    """Print all four ablations."""
+    print(format_table(run_ports(), title="Ablation: one-port vs two-port master"))
+    print()
+    print(format_table(run_overlap(), title="Ablation: overlap vs no-overlap layout"))
+    print()
+    print(format_table(run_startup(), title="Ablation: start-up (C-tile I/O) overhead"))
+    print()
+    print(format_table(run_lookahead(), title="Ablation: lookahead depth (Table 2)"))
+
+
+if __name__ == "__main__":
+    main()

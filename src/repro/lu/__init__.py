@@ -1,0 +1,54 @@
+"""Extension to LU factorization — Section 7.
+
+Right-looking block LU with a second blocking level of size µ (the
+largest µ with ``µ² + 4µ ≤ m``): at each elimination step the pivot
+µ×µ block-matrix is factored, the vertical and horizontal panels are
+updated row-by-row / column-by-column against it, and the trailing
+core matrix receives a rank-µ update — the same kernel as the matrix
+product, which is why the master-worker machinery transfers.
+
+* :mod:`repro.lu.costs` — the per-step communication and computation
+  costs of Section 7.1, their exact sums, and the paper's closed forms
+  (with the discrepancy in the communication formula documented).
+* :mod:`repro.lu.homogeneous` — processor count ``P = ceil(µw/3c)`` and
+  a makespan model for the parallel core update.
+* :mod:`repro.lu.heterogeneous` — the chunk-shape policies for workers
+  whose memory does not match the pivot size (square chunk iff
+  ``µ_i ≤ µ/2``), virtual processors for over-provisioned workers, and
+  the exhaustive search over the pivot size µ.
+* :mod:`repro.lu.numeric` — an executable numpy block LU following
+  exactly the Section 7.1 update structure, verified against ``A = LU``.
+"""
+
+from repro.lu.costs import (
+    LUStepCost,
+    lu_communication_paper_closed_form,
+    lu_computation_closed_form,
+    lu_step_cost,
+    lu_total_cost,
+)
+from repro.lu.heterogeneous import (
+    ChunkPolicy,
+    best_pivot_size,
+    chunk_policy,
+    virtual_processors,
+)
+from repro.lu.homogeneous import lu_makespan_estimate, lu_worker_count
+from repro.lu.numeric import block_lu, verify_lu
+from repro.lu.scheduler import simulate_parallel_lu
+
+__all__ = [
+    "ChunkPolicy",
+    "LUStepCost",
+    "best_pivot_size",
+    "block_lu",
+    "chunk_policy",
+    "lu_communication_paper_closed_form",
+    "lu_computation_closed_form",
+    "lu_makespan_estimate",
+    "lu_step_cost",
+    "lu_total_cost",
+    "lu_worker_count",
+    "simulate_parallel_lu",
+    "verify_lu",
+]

@@ -1,0 +1,133 @@
+"""Cost model of single-worker block LU — Section 7.1.
+
+All quantities are in block units: the matrix is r×r blocks, the second
+blocking level is µ (r assumed divisible by µ for the closed forms),
+``c`` is seconds per block moved and ``w`` seconds per block update.
+
+Step ``k`` (1-based, ``k = 1 .. r/µ``) of the factorization:
+
+1. **Pivot**: factor the µ×µ pivot block-matrix —
+   comm ``2µ²c``, comp ``µ³w``.
+2. **Vertical panel** (the ``r − kµ`` block-rows below the pivot, each
+   µ blocks wide): each row is brought, replaced by ``x·U⁻¹`` and sent
+   back — comm ``2µ(r−kµ)c``, comp ``½µ²(r−kµ)w``.
+3. **Horizontal panel**: symmetric — comm ``2µ(r−kµ)c``,
+   comp ``½µ²(r−kµ)w``.
+4. **Core update** (rank-µ update of the trailing ``(r−kµ)²`` blocks,
+   processed µ columns at a time with a µ×µ horizontal-panel chunk kept
+   resident): per group of µ columns, comm ``(µ² + 3(r−kµ)µ)c`` and
+   comp ``(r−kµ)µ²w``; there are ``r/µ − k`` groups.
+
+A note on the paper's closed forms.  The computation total
+``(r³ + 2µ²r)w/3`` matches the exact sum of the step costs.  The
+communication closed form printed in the paper, ``(r³/µ − r² + 2µr)c``,
+equals the sum of the *pivot and core* terms only; adding the panel
+terms of its own step analysis gives ``(r³/µ + r²)c``, i.e. the paper's
+formula under-counts by the lower-order ``2r(r − µ)c``.
+:func:`lu_total_cost` returns the exact sums;
+:func:`lu_communication_paper_closed_form` reproduces the printed
+formula for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "LUStepCost",
+    "lu_step_cost",
+    "lu_total_cost",
+    "lu_communication_paper_closed_form",
+    "lu_computation_closed_form",
+]
+
+
+def _check(r: int, mu: int) -> None:
+    if mu < 1:
+        raise ValueError(f"mu must be >= 1, got {mu}")
+    if r < mu:
+        raise ValueError(f"need r >= mu, got r={r}, mu={mu}")
+    if r % mu:
+        raise ValueError(f"r={r} must be divisible by mu={mu}")
+
+
+@dataclass(frozen=True)
+class LUStepCost:
+    """Costs of one elimination step, split by part (block units).
+
+    ``comm_*`` count blocks moved; ``comp_*`` count block operations
+    (weighted so that one full block update = 1).
+    """
+
+    step: int
+    comm_pivot: float
+    comm_vertical: float
+    comm_horizontal: float
+    comm_core: float
+    comp_pivot: float
+    comp_vertical: float
+    comp_horizontal: float
+    comp_core: float
+
+    @property
+    def comm_total(self) -> float:
+        """Blocks moved during this step."""
+        return self.comm_pivot + self.comm_vertical + self.comm_horizontal + self.comm_core
+
+    @property
+    def comp_total(self) -> float:
+        """Block operations during this step."""
+        return self.comp_pivot + self.comp_vertical + self.comp_horizontal + self.comp_core
+
+
+def lu_step_cost(r: int, mu: int, k: int) -> LUStepCost:
+    """Step-``k`` costs, following Section 7.1 verbatim."""
+    _check(r, mu)
+    n = r // mu
+    if not 1 <= k <= n:
+        raise ValueError(f"step k={k} out of 1..{n}")
+    rem = r - k * mu  # blocks below/right of the pivot
+    groups = n - k  # column groups of the core matrix
+    return LUStepCost(
+        step=k,
+        comm_pivot=2.0 * mu * mu,
+        comm_vertical=2.0 * mu * rem,
+        comm_horizontal=2.0 * mu * rem,
+        comm_core=groups * (mu * mu + 3.0 * rem * mu),
+        comp_pivot=float(mu**3),
+        comp_vertical=0.5 * mu * mu * rem,
+        comp_horizontal=0.5 * mu * mu * rem,
+        comp_core=groups * rem * float(mu * mu),
+    )
+
+
+def lu_total_cost(r: int, mu: int) -> tuple[float, float]:
+    """Exact totals ``(comm_blocks, comp_blocks)`` summed over all steps.
+
+    The communication total equals ``r³/µ + r²`` and the computation
+    total ``(r³ + 2µ²r)/3`` (both in block units; multiply by ``c`` and
+    ``w`` for seconds).
+    """
+    _check(r, mu)
+    comm = comp = 0.0
+    for k in range(1, r // mu + 1):
+        st = lu_step_cost(r, mu, k)
+        comm += st.comm_total
+        comp += st.comp_total
+    return comm, comp
+
+
+def lu_communication_paper_closed_form(r: int, mu: int) -> float:
+    """The closed form printed in the paper: ``r³/µ − r² + 2µr`` blocks.
+
+    Matches the pivot + core terms of the step analysis; the panel terms
+    add a further ``2r(r − µ)`` blocks (see the module docstring).
+    """
+    _check(r, mu)
+    return r**3 / mu - r**2 + 2.0 * mu * r
+
+
+def lu_computation_closed_form(r: int, mu: int) -> float:
+    """The paper's computation closed form ``(r³ + 2µ²r)/3`` blocks."""
+    _check(r, mu)
+    return (r**3 + 2.0 * mu * mu * r) / 3.0

@@ -1,0 +1,154 @@
+"""Heterogeneous LU — Section 7.3.
+
+Unlike the matrix product, LU forces a *common* pivot size µ on every
+worker at a given elimination step.  A worker ``P_i`` whose memory chunk
+size ``µ_i`` differs from µ needs a policy:
+
+* ``µ_i < µ`` — two candidate shapes for the resident horizontal-panel
+  chunk:
+
+  - **square** (µ_i × µ_i): computation-to-communication ratio
+    ``µ_i w / 3c``;
+  - **whole columns** (µ × µ_i²/µ): ratio ``µ_i² w / ((µ + 2µ_i²/µ) c)``.
+
+  The square chunk wins exactly when ``µ_i ≤ µ/2`` (the paper's
+  inequality ``(2µ_i/µ − 1)(µ_i/µ − 1) < 0`` flips sign there).
+* ``µ_i > µ`` — split the worker's memory into ``floor(µ_i²/µ²)``
+  square chunks and treat it as that many virtual processors.
+
+The pivot size itself is chosen by exhaustive search over feasible µ
+values, estimating the full factorization time for each (Section 7.3's
+closing recipe).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.layout import mu_overlap
+from repro.lu.costs import lu_step_cost
+from repro.platform.model import Platform
+
+__all__ = ["ChunkPolicy", "chunk_policy", "virtual_processors", "best_pivot_size"]
+
+
+@dataclass(frozen=True)
+class ChunkPolicy:
+    """Chosen chunk shape and its efficiency for one worker.
+
+    Attributes:
+        shape: ``"square"``, ``"columns"``, or ``"virtual"``.
+        ratio: computation-to-communication ratio of the chosen shape
+            (block updates per block moved, scaled by w/c).
+        virtual_count: number of virtual processors (1 unless µ_i > µ).
+    """
+
+    shape: str
+    ratio: float
+    virtual_count: int = 1
+
+
+def chunk_policy(mu_i: int, mu: int, c: float, w: float) -> ChunkPolicy:
+    """Pick the Section 7.3 chunk shape for a worker with chunk µ_i.
+
+    Implements the case analysis above; for ``µ_i = µ`` the worker
+    behaves exactly as in the homogeneous algorithm (square chunk).
+    """
+    if mu_i < 1 or mu < 1:
+        raise ValueError("mu_i and mu must be >= 1")
+    if mu_i > mu:
+        count = (mu_i * mu_i) // (mu * mu)
+        return ChunkPolicy("virtual", mu * w / (3.0 * c), virtual_count=count)
+    square_ratio = mu_i * w / (3.0 * c)
+    column_ratio = (mu_i * mu_i * w) / ((mu + 2.0 * mu_i * mu_i / mu) * c)
+    if 2 * mu_i <= mu:
+        return ChunkPolicy("square", square_ratio)
+    return ChunkPolicy("columns", column_ratio)
+
+
+def virtual_processors(mu_i: int, mu: int) -> int:
+    """How many µ-sized virtual processors a µ_i-memory worker provides."""
+    if mu_i < mu:
+        return 1
+    return max(1, (mu_i * mu_i) // (mu * mu))
+
+
+def _estimate_time(platform: Platform, r: int, mu: int) -> float:
+    """Estimated factorization time with pivot size µ on ``platform``.
+
+    Follows the Section 7.3 recipe: (a) the fastest worker (in
+    ``2µ²c_i + µ³w_i`` terms) handles the pivot and panel updates;
+    (b) the core update is distributed by effective throughput — each
+    worker contributes updates at its chunk policy's rate, capped by the
+    master port — mirroring the matrix-product selection logic.
+    """
+    if r % mu:
+        return math.inf
+    mus = [mu_overlap(wk.m) for wk in platform.workers]
+    # (a) sequential owner: fastest at pivot + panel work.
+    seq_scores = [
+        2 * mu * mu * wk.c + mu**3 * wk.w for wk in platform.workers
+    ]
+    seq_widx = min(range(platform.p), key=lambda i: seq_scores[i])
+    seq_wk = platform.workers[seq_widx]
+    # (b) core-update throughput: enroll workers bandwidth-centrically.
+    #     Worker i moves 3 blocks per µ_eff updates ... expressed per
+    #     update: port cost 3c_i/(µ_eff,i) where µ_eff is its policy chunk.
+    rates = []
+    for i, wk in enumerate(platform.workers):
+        pol = chunk_policy(mus[i], mu, wk.c, wk.w)
+        eff_mu = min(mus[i], mu)
+        port_per_update = 3.0 * wk.c / eff_mu
+        cpu_rate = pol.virtual_count / wk.w  # updates per second, CPU-bound
+        rates.append((port_per_update, cpu_rate))
+    order = sorted(range(platform.p), key=lambda i: rates[i][0])
+    total = 0.0
+    for k in range(1, r // mu + 1):
+        st = lu_step_cost(r, mu, k)
+        sequential = (
+            (st.comm_pivot + st.comm_vertical + st.comm_horizontal) * seq_wk.c
+            + (st.comp_pivot + st.comp_vertical + st.comp_horizontal) * seq_wk.w
+        )
+        # Steady-state throughput of the core update under the one port.
+        port_left, throughput = 1.0, 0.0
+        for i in order:
+            port_per_update, cpu_rate = rates[i]
+            full_port = port_per_update * cpu_rate
+            if full_port <= port_left:
+                throughput += cpu_rate
+                port_left -= full_port
+            else:
+                throughput += port_left / port_per_update
+                port_left = 0.0
+                break
+        core_time = st.comp_core / throughput if throughput > 0 else math.inf
+        total += sequential + core_time
+    return total
+
+
+def best_pivot_size(
+    platform: Platform,
+    r: int,
+    candidates: Optional[Sequence[int]] = None,
+) -> tuple[int, float]:
+    """Exhaustive search for the pivot size µ (Section 7.3).
+
+    ``candidates`` defaults to every divisor of ``r`` that fits the
+    smallest worker's µ-range upper bound; returns ``(µ, estimated
+    time)`` for the best.
+    """
+    if r < 1:
+        raise ValueError(f"r must be >= 1, got {r}")
+    if candidates is None:
+        cap = max(mu_overlap(wk.m) for wk in platform.workers)
+        candidates = [d for d in range(1, min(r, 2 * cap) + 1) if r % d == 0]
+    best_mu, best_time = 0, math.inf
+    for mu in candidates:
+        est = _estimate_time(platform, r, mu)
+        if est < best_time:
+            best_mu, best_time = mu, est
+    if best_mu == 0:
+        raise ValueError("no feasible pivot size among candidates")
+    return best_mu, best_time

@@ -1,0 +1,61 @@
+"""Parallel LU on homogeneous clusters — Section 7.2.
+
+The dominant cost is the core update (``(r³/3 − µr²/2 + µ²r/6)w``), so
+the paper parallelises it: per round a worker receives the µ×µ
+horizontal-panel chunk (µ² blocks), the ``µ(r−kµ)`` vertical-panel
+blocks, and exchanges ``2µ(r−kµ)`` core blocks, against ``µ²(r−kµ)``
+block updates.  Saturating the master port gives
+
+    ``P = ceil(µw / 3c)``
+
+(neglecting the µ² chunk term for large ``r/µ``).  A single processor
+factors the pivot and updates both panels; ``P`` workers then share the
+core update.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.lu.costs import lu_step_cost
+
+__all__ = ["lu_worker_count", "lu_makespan_estimate"]
+
+
+def lu_worker_count(mu: int, c: float, w: float, p: int) -> int:
+    """The Section 7.2 enrolment rule ``P = min(p, ceil(µw/3c))``."""
+    if mu < 1:
+        raise ValueError(f"mu must be >= 1, got {mu}")
+    if c <= 0 or w <= 0:
+        raise ValueError("c and w must be positive")
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    return min(p, math.ceil(mu * w / (3.0 * c)))
+
+
+def lu_makespan_estimate(r: int, mu: int, c: float, w: float, p: int) -> float:
+    """Estimated parallel makespan of the Section 7.2 algorithm.
+
+    Per step ``k``: the sequential part (pivot factorization and both
+    panel updates, on one worker, including its communications) plus the
+    parallelised core update, which takes the larger of the master-port
+    time and the per-worker compute time spread over
+    ``P = lu_worker_count(...)`` workers.
+
+    This is a bound-style estimate (it assumes perfect overlap inside
+    the core update and none across parts), suitable for comparing pivot
+    sizes and worker counts — the role it plays in Section 7.3's
+    exhaustive µ search.
+    """
+    workers = lu_worker_count(mu, c, w, p)
+    total = 0.0
+    for k in range(1, r // mu + 1):
+        st = lu_step_cost(r, mu, k)
+        sequential = (
+            (st.comm_pivot + st.comm_vertical + st.comm_horizontal) * c
+            + (st.comp_pivot + st.comp_vertical + st.comp_horizontal) * w
+        )
+        core_comm = st.comm_core * c
+        core_comp = st.comp_core * w / workers
+        total += sequential + max(core_comm, core_comp)
+    return total

@@ -1,0 +1,86 @@
+"""Executable block LU following the Section 7.1 update structure.
+
+Right-looking block LU *without pivoting across blocks* (the paper's
+scheme factors the diagonal pivot block-matrix in place, so inputs must
+make that stable — tests use diagonally dominant matrices):
+
+for each pivot step (size ``µ·q`` elements):
+
+1. factor the pivot square in place (unblocked LU, no pivoting),
+2. vertical panel ``x ← x · U⁻¹`` row-band by row-band,
+3. horizontal panel ``y ← L⁻¹ · y`` column-band by column-band,
+4. core ``C ← C − L_panel · U_panel``.
+
+On exit the argument holds the packed LU factors (unit-lower L below
+the diagonal, U on and above).  :func:`verify_lu` re-multiplies them
+and compares against the original.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["block_lu", "verify_lu", "unpack_lu"]
+
+
+def _factor_unblocked(a: np.ndarray) -> None:
+    """In-place unpivoted LU of a small dense square matrix."""
+    n = a.shape[0]
+    for k in range(n):
+        piv = a[k, k]
+        if abs(piv) < 1e-300:
+            raise ZeroDivisionError(
+                f"zero pivot at {k}; matrix needs pivoting (use a "
+                "diagonally dominant input)"
+            )
+        a[k + 1 :, k] /= piv
+        a[k + 1 :, k + 1 :] -= np.outer(a[k + 1 :, k], a[k, k + 1 :])
+
+
+def block_lu(a: np.ndarray, panel: int) -> np.ndarray:
+    """In-place right-looking block LU with panel width ``panel``.
+
+    ``panel`` is the element-level pivot size (the paper's ``µ·q``).
+    Returns ``a`` for convenience.
+    """
+    a = np.asarray(a)
+    n = a.shape[0]
+    if a.ndim != 2 or a.shape[1] != n:
+        raise ValueError(f"need a square matrix, got shape {a.shape}")
+    if panel < 1:
+        raise ValueError(f"panel must be >= 1, got {panel}")
+    from scipy.linalg import solve_triangular
+
+    for k0 in range(0, n, panel):
+        k1 = min(k0 + panel, n)
+        # 1. pivot factorization
+        _factor_unblocked(a[k0:k1, k0:k1])
+        l_piv = np.tril(a[k0:k1, k0:k1], -1) + np.eye(k1 - k0)
+        u_piv = np.triu(a[k0:k1, k0:k1])
+        if k1 < n:
+            # 2. vertical panel: rows x ← x U⁻¹  (solve x U = row)
+            a[k1:, k0:k1] = solve_triangular(
+                u_piv.T, a[k1:, k0:k1].T, lower=True
+            ).T
+            # 3. horizontal panel: cols y ← L⁻¹ y
+            a[k0:k1, k1:] = solve_triangular(l_piv, a[k0:k1, k1:], lower=True)
+            # 4. rank-panel core update
+            a[k1:, k1:] -= a[k1:, k0:k1] @ a[k0:k1, k1:]
+    return a
+
+
+def unpack_lu(packed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split packed factors into (unit-lower L, upper U)."""
+    n = packed.shape[0]
+    lower = np.tril(packed, -1) + np.eye(n)
+    upper = np.triu(packed)
+    return lower, upper
+
+
+def verify_lu(original: np.ndarray, packed: np.ndarray, rtol: float = 1e-9) -> bool:
+    """True when the packed factors reproduce ``original`` (L·U ≈ A)."""
+    lower, upper = unpack_lu(packed)
+    scale = max(1.0, float(np.abs(original).max()))
+    return bool(
+        np.allclose(lower @ upper, original, rtol=rtol, atol=rtol * scale)
+    )

@@ -1,0 +1,42 @@
+"""Master-worker star platform models (Section 2.2 of the paper).
+
+A platform is a star ``S = {P0, P1, ..., Pp}``: a master ``P0`` with no
+compute capability and ``p`` workers.  Worker ``Pi`` is characterised by
+
+* ``c_i`` — seconds for the master to send (or receive) one q×q block
+  to/from ``Pi`` (linear cost model, no latency),
+* ``w_i`` — seconds for ``Pi`` to perform one block update
+  ``C_ij += A_ik · B_kj`` (a q×q×q multiply-accumulate),
+* ``m_i`` — number of q×q block buffers that fit in ``Pi``'s memory.
+
+The subpackage also contains hardware calibration helpers that convert
+"100 Mb/s Ethernet + 3.2 GHz Xeon + 80×80 double blocks" into ``(c, w)``
+(used to regenerate the Section 8 experiments), stochastic perturbation
+for the Figure 11 jitter study, and the named platforms of Tables 1 and 2.
+"""
+
+from repro.platform.calibration import (
+    HardwareSpec,
+    UT_CLUSTER,
+    block_bytes,
+    blocks_per_megabyte,
+    calibrate,
+    memory_mb_to_blocks,
+)
+from repro.platform.model import Platform, Worker, perturbed
+from repro.platform.named import table1_platform, table2_platform, ut_cluster_platform
+
+__all__ = [
+    "HardwareSpec",
+    "Platform",
+    "UT_CLUSTER",
+    "Worker",
+    "block_bytes",
+    "blocks_per_megabyte",
+    "calibrate",
+    "memory_mb_to_blocks",
+    "perturbed",
+    "table1_platform",
+    "table2_platform",
+    "ut_cluster_platform",
+]

@@ -1,0 +1,112 @@
+"""Hardware calibration: turn hardware specs into block-level costs.
+
+The Section 8 experiments run on "a cluster of 64 Xeon 3.2GHz
+dual-processor nodes ... connected with a switched 100Mbps Fast Ethernet
+network" with "four Gigabytes of memory" per node, using q×q = 80×80
+blocks of double-precision elements.
+
+This module converts such a spec into the paper's abstract parameters:
+
+* ``c`` — seconds per block over the wire.  A q×q block of float64 is
+  ``q² × 8`` bytes; at an effective bandwidth of ``beta`` bit/s,
+  ``c = 8 · q² · 8 / beta``.
+* ``w`` — seconds per block update.  One update is ``2·q³`` flops (a
+  multiply-accumulate per element triple); at an effective DGEMM rate of
+  ``gamma`` flop/s, ``w = 2 q³ / gamma``.
+* ``m`` — available memory (minus a reserve) divided by block bytes.
+
+With q = 80, 100 Mb/s effective Ethernet and ~3.5 Gflop/s effective
+DGEMM (a 3.2 GHz Xeon with SSE2 peaks at 6.4 Gflop/s; ATLAS sustains
+roughly 55 % of peak), ``c ≈ 4.1 ms`` and ``w ≈ 0.29 ms``: communication
+is ~14× more expensive than computation per block, which is exactly the
+regime the paper's resource selection targets — ``P = ceil(µw/2c)``
+enrolls 4 of 8 workers at 512 MB and 2 at 132 MB, matching the worker
+counts reported in Section 8.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "HardwareSpec",
+    "UT_CLUSTER",
+    "block_bytes",
+    "blocks_per_megabyte",
+    "calibrate",
+    "memory_mb_to_blocks",
+]
+
+#: Bytes per double-precision matrix element.
+BYTES_PER_ELEMENT = 8
+
+
+def block_bytes(q: int) -> int:
+    """Size in bytes of one q×q block of float64 elements."""
+    if q < 1:
+        raise ValueError(f"block size q must be >= 1, got {q}")
+    return q * q * BYTES_PER_ELEMENT
+
+
+def blocks_per_megabyte(q: int) -> float:
+    """How many q×q float64 blocks fit in one megabyte (10^6 bytes)."""
+    return 1e6 / block_bytes(q)
+
+
+def memory_mb_to_blocks(memory_mb: float, q: int) -> int:
+    """Convert a worker memory budget in MB to a block count ``m``.
+
+    Used by the Figure 13 experiment, whose x-axis is worker memory in
+    megabytes (132 MB … 512 MB).
+    """
+    if memory_mb <= 0:
+        raise ValueError(f"memory must be positive, got {memory_mb}")
+    m = int(memory_mb * 1e6 // block_bytes(q))
+    if m < 1:
+        raise ValueError(f"{memory_mb} MB holds no {q}x{q} block")
+    return m
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """Physical description of one worker node and its link.
+
+    Attributes:
+        bandwidth_bps: effective link bandwidth in bits per second.
+        gemm_flops: effective DGEMM rate in flops per second.
+        memory_mb: worker memory available for block buffers, in MB.
+        q: block size (80 or 100 in the paper; ATLAS sweet spot).
+    """
+
+    bandwidth_bps: float = 100e6
+    gemm_flops: float = 3.5e9
+    memory_mb: float = 512.0
+    q: int = 80
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0 or self.gemm_flops <= 0:
+            raise ValueError("bandwidth and flop rate must be positive")
+        if self.memory_mb <= 0:
+            raise ValueError("memory must be positive")
+        if self.q < 1:
+            raise ValueError("q must be >= 1")
+
+
+#: The University of Tennessee cluster of Section 8.1 (per node).
+UT_CLUSTER = HardwareSpec(
+    bandwidth_bps=100e6, gemm_flops=3.5e9, memory_mb=512.0, q=80
+)
+
+
+def calibrate(spec: HardwareSpec) -> tuple[float, float, int]:
+    """Return the abstract platform parameters ``(c, w, m)`` for a spec.
+
+    ``c`` is seconds per block each way, ``w`` seconds per block update,
+    ``m`` the worker buffer count.
+    """
+    bits = block_bytes(spec.q) * 8
+    c = bits / spec.bandwidth_bps
+    flops = 2.0 * spec.q**3
+    w = flops / spec.gemm_flops
+    m = memory_mb_to_blocks(spec.memory_mb, spec.q)
+    return c, w, m

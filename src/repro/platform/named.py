@@ -1,0 +1,85 @@
+"""The named platforms used in the paper's worked examples and experiments.
+
+* :func:`table1_platform` — Table 1: the two-worker platform on which the
+  bandwidth-centric steady-state solution is *not feasible* because
+  worker P1 would need 20 buffered blocks to ride out the slot in which
+  the master serves P2.
+* :func:`table2_platform` — Table 2: the three-worker platform used to
+  walk through the global (Figure 7) and local (Figure 8) incremental
+  selection algorithms.
+* :func:`ut_cluster_platform` — the homogeneous University-of-Tennessee
+  cluster of Section 8 (1 master + ``p`` workers carved out of 64 nodes).
+
+Note on Tables 1 and 2: the paper specifies workers directly by
+``(c_i, w_i, µ_i)``.  Memory ``m_i`` is recovered as the smallest memory
+that yields that µ under the overlap layout, ``m_i = µ_i² + 4µ_i``.
+"""
+
+from __future__ import annotations
+
+from repro.platform.calibration import HardwareSpec, calibrate, memory_mb_to_blocks
+from repro.platform.model import Platform, Worker
+
+__all__ = ["table1_platform", "table2_platform", "ut_cluster_platform"]
+
+
+def _m_for_mu(mu: int) -> int:
+    """Smallest memory (in blocks) giving chunk size ``mu`` under the
+    overlap layout µ² + 4µ ≤ m."""
+    return mu * mu + 4 * mu
+
+
+def table1_platform() -> Platform:
+    """Table 1: c = (1, 20), w = (2, 40), µ = (2, 2).
+
+    Both workers have ``2·c_i/(µ_i·w_i) = 1/2``, so the bandwidth-centric
+    strategy enrolls both at full rate — but P1 would need to buffer ~20
+    blocks to stay busy while the master spends 80 s serving P2, far more
+    than its memory allows.
+    """
+    workers = (
+        Worker(1, c=1.0, w=2.0, m=_m_for_mu(2)),
+        Worker(2, c=20.0, w=40.0, m=_m_for_mu(2)),
+    )
+    return Platform(workers, name="paper-table1")
+
+
+def table2_platform() -> Platform:
+    """Table 2: c = (2, 3, 5), w = (2, 3, 1), µ = (6, 18, 10).
+
+    The walk-through in Section 6.2 derives: first selections P2, P1, P3;
+    a repeating 13-communication cyclic pattern; asymptotic
+    computation-per-communication ratio 1.17 for the global algorithm,
+    1.21 for the local one, 1.30 for two-step lookahead, against a 1.39
+    steady-state upper bound.
+    """
+    workers = (
+        Worker(1, c=2.0, w=2.0, m=_m_for_mu(6)),
+        Worker(2, c=3.0, w=3.0, m=_m_for_mu(18)),
+        Worker(3, c=5.0, w=1.0, m=_m_for_mu(10)),
+    )
+    return Platform(workers, name="paper-table2")
+
+
+def ut_cluster_platform(
+    p: int = 8,
+    memory_mb: float = 512.0,
+    q: int = 80,
+    spec: HardwareSpec | None = None,
+) -> Platform:
+    """The homogeneous Section-8 platform: ``p`` workers from the UT cluster.
+
+    Args:
+        p: number of enrolled workers (the experiments use 8).
+        memory_mb: per-worker block-buffer budget in MB (Figure 13 sweeps
+            this from 132 to 512 MB).
+        q: block size (Figure 12 compares q = 40 and q = 80).
+        spec: override the full hardware spec; ``memory_mb``/``q`` are
+            ignored when given.
+    """
+    if spec is None:
+        spec = HardwareSpec(memory_mb=memory_mb, q=q)
+    c, w, m = calibrate(spec)
+    return Platform.homogeneous(
+        p, c, w, m, name=f"ut-cluster(p={p},mem={spec.memory_mb:g}MB,q={spec.q})"
+    )

@@ -1,0 +1,61 @@
+"""The scheduling algorithms compared in Section 8.
+
+Algorithms using the paper's optimized memory layout (µ×µ C tile plus
+streamed A/B generations):
+
+* :class:`HoLM` — the paper's homogeneous algorithm with resource
+  selection (``P = min(p, ceil(µw/2c))``), round-robin service.
+* :class:`ORROML` — HoLM without resource selection (all workers).
+* :class:`OMMOML` — static min-min chunk assignment (earliest finish).
+* :class:`ODDOML` — demand-driven with the spare buffer generation.
+* :class:`DDOML` — demand-driven without spare buffers (bigger µ, no
+  receive/compute overlap).
+
+Algorithms using Toledo's memory layout:
+
+* :class:`BMM` — memory in three equal square tiles, demand-driven, no
+  overlap.
+* :class:`OBMM` — five-way split so A/B tiles stream while computing.
+
+Heterogeneous execution:
+
+* :class:`HeteroIncremental` — phase-2 execution of the Section 6.2
+  incremental selection (global/local/lookahead variants).
+
+Single-worker reference:
+
+* :class:`MaxReuse` — the Section 4.1 maximum re-use algorithm.
+
+Use :func:`repro.engine.run_scheduler` to simulate any of them, or the
+convenience :func:`all_section8_schedulers` registry for the benchmark
+harness.
+"""
+
+from repro.schedulers.base import StaticChunkScheduler, DemandChunkScheduler
+from repro.schedulers.bmm import BMM, OBMM
+from repro.schedulers.ddo import DDOML, ODDOML
+from repro.schedulers.hetero import HeteroIncremental
+from repro.schedulers.holm import HoLM, ORROML
+from repro.schedulers.maxreuse import MaxReuse
+from repro.schedulers.omm import OMMOML
+
+__all__ = [
+    "BMM",
+    "DDOML",
+    "DemandChunkScheduler",
+    "HeteroIncremental",
+    "HoLM",
+    "MaxReuse",
+    "OBMM",
+    "ODDOML",
+    "OMMOML",
+    "ORROML",
+    "StaticChunkScheduler",
+    "all_section8_schedulers",
+]
+
+
+def all_section8_schedulers() -> list:
+    """Fresh instances of the seven algorithms of Section 8, in the
+    paper's order (optimized-layout group first, then Toledo group)."""
+    return [HoLM(), ORROML(), OMMOML(), ODDOML(), DDOML(), BMM(), OBMM()]

@@ -1,0 +1,50 @@
+"""ODDOML and DDOML — the demand-driven algorithms with the paper's layout.
+
+**ODDOML** ("Overlapped Demand-Driven, Optimized Memory Layout") keeps
+the spare A/B buffer generation: "in order to use the extra buffers
+available in the worker memories, it will send the next block to the
+first worker which can receive it."  Chunk side µ satisfies
+``µ² + 4µ ≤ m`` and phase ``j`` can stream in while phase ``j−1``
+computes.
+
+**DDOML** drops the spare buffers: "it sends the next block to the
+first worker which is free for computation.  As workers never have to
+receive and compute at the same time, the algorithm has no extra
+buffer, so the memory available to store A, B, and C is greater" —
+chunk side from ``µ² + 2µ ≤ m``, strictly alternating receive/compute.
+"""
+
+from __future__ import annotations
+
+from repro.blocks.shape import ProblemShape
+from repro.core.layout import mu_no_overlap, mu_overlap
+from repro.engine.chunks import Chunk, tile_chunks
+from repro.schedulers.base import DemandChunkScheduler
+
+__all__ = ["ODDOML", "DDOML"]
+
+
+class ODDOML(DemandChunkScheduler):
+    """Demand-driven, overlap layout (spare buffer generation)."""
+
+    name = "ODDOML"
+    generation_gap = 2
+
+    def chunk_param(self, m: int) -> int:
+        return mu_overlap(m)
+
+    def build_chunks(self, shape: ProblemShape, param: int) -> list[Chunk]:
+        return tile_chunks(shape, param)
+
+
+class DDOML(DemandChunkScheduler):
+    """Demand-driven, single-generation layout (larger µ, no overlap)."""
+
+    name = "DDOML"
+    generation_gap = 1
+
+    def chunk_param(self, m: int) -> int:
+        return mu_no_overlap(m)
+
+    def build_chunks(self, shape: ProblemShape, param: int) -> list[Chunk]:
+        return tile_chunks(shape, param)

@@ -1,0 +1,43 @@
+"""Deterministic discrete-event simulation kernel.
+
+This subpackage is a small, self-contained, SimPy-style discrete-event
+simulator.  It provides the substrate on which every master-worker
+scheduling algorithm of the paper is executed:
+
+* :class:`~repro.sim.core.Environment` — the event loop and simulated clock,
+* :class:`~repro.sim.core.Process` — generator-based cooperative processes,
+* :class:`~repro.sim.core.Timeout` / :class:`~repro.sim.core.Event` —
+  primitive waitable events,
+* :class:`~repro.sim.resources.Resource` — FIFO mutual-exclusion resource
+  (used to model the master's one-port network interface),
+* :class:`~repro.sim.resources.Store` — FIFO producer/consumer buffer
+  (used to model per-worker mailboxes).
+
+The implementation is deterministic: events scheduled for the same
+simulated time are processed in the order they were scheduled (FIFO by an
+internal monotonically-increasing sequence number), so every simulation in
+this repository is exactly reproducible.
+"""
+
+from repro.sim.core import (
+    AllOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.resources import Resource, Store
+
+__all__ = [
+    "AllOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,394 @@
+"""Core of the discrete-event simulation kernel.
+
+The design follows the classic *process-interaction* world view popularised
+by SimPy: simulation logic is written as Python generator functions that
+``yield`` *events*; the :class:`Environment` advances a virtual clock and
+resumes each process when the event it is waiting for fires.
+
+Only the features needed by this repository are implemented, which keeps
+the kernel small enough to be exhaustively tested:
+
+* :class:`Event` — one-shot waitable with success/failure payloads,
+* :class:`Timeout` — an event that fires after a fixed delay,
+* :class:`Process` — wraps a generator; is itself an event that fires when
+  the generator returns (its value is the generator's return value),
+* :class:`AllOf` — conjunction of events,
+* interrupts — a process may :meth:`Process.interrupt` another.
+
+Determinism guarantee
+---------------------
+The event queue is a binary heap keyed by ``(time, priority, seq)`` where
+``seq`` is a global insertion counter.  Two events scheduled for the same
+time therefore fire in scheduling order, making every run reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "SimulationError",
+    "Interrupt",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "Environment",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. yielding a
+    non-event, running a finished environment, triggering an event twice).
+    """
+
+
+class Interrupt(Exception):
+    """Exception thrown *into* a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+#: Priority used for ordinary events.
+NORMAL = 1
+#: Priority used urgently (process resumption after an interrupt).
+URGENT = 0
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event goes through at most one transition: *pending* →
+    *triggered*.  When triggered it carries either a value (success) or an
+    exception (failure).  Callbacks registered on the event are invoked by
+    the environment when the event is popped from the schedule.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._ok: Optional[bool] = None  # None: pending, True/False once triggered
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's payload (or raises its exception on failure)."""
+        if self._ok is None:
+            raise SimulationError("event not yet triggered")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    # -- state transitions -------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value`` as payload."""
+        if self._ok is not None:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event as failed; waiters will see ``exc`` raised."""
+        if self._ok is not None:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() needs an exception instance")
+        self._ok = False
+        self._exc = exc
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending" if self._ok is None else ("ok" if self._ok else "failed")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        env._schedule(self, URGENT, 0.0)
+
+
+class Process(Event):
+    """A running simulation process.
+
+    Wraps a generator.  Each value the generator yields must be an
+    :class:`Event`; the process suspends until that event fires.  The
+    process is itself an event: it triggers when the generator terminates,
+    succeeding with the generator's return value, or failing with the
+    exception that escaped it.
+    """
+
+    def __init__(self, env: "Environment", gen: Generator, name: str = ""):
+        if not hasattr(gen, "throw"):
+            raise SimulationError(f"{gen!r} is not a generator")
+        super().__init__(env)
+        self._gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not terminated."""
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"{self.name} has terminated; cannot interrupt")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        event = Event(self.env)
+        event._ok = False
+        event._exc = Interrupt(cause)
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, URGENT, 0.0)
+        # Detach from whatever we were waiting on so the original event's
+        # callback does not resume us a second time.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - already detached
+                pass
+            self._target = None
+
+    # -- driver ------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self.env._active = self
+        while True:
+            try:
+                if event._ok:
+                    next_ev = self._gen.send(event._value)
+                else:
+                    exc = event._exc
+                    assert exc is not None
+                    next_ev = self._gen.throw(exc)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                self.env._schedule(self, NORMAL, 0.0)
+                break
+            except BaseException as exc:  # generator died with an error
+                self._ok = False
+                self._exc = exc
+                self.env._schedule(self, NORMAL, 0.0)
+                break
+
+            if not isinstance(next_ev, Event):
+                err = SimulationError(
+                    f"process {self.name!r} yielded non-event {next_ev!r}"
+                )
+                event = Event(self.env)
+                event._ok = False
+                event._exc = err
+                continue
+
+            if next_ev.env is not self.env:
+                raise SimulationError("event belongs to a different environment")
+
+            if next_ev.callbacks is None:
+                # Already processed: resume immediately with its outcome.
+                event = next_ev
+                continue
+            next_ev.callbacks.append(self._resume)
+            self._target = next_ev
+            break
+        self.env._active = None
+
+
+class AllOf(Event):
+    """Conjunction: fires when every event in ``events`` has fired.
+
+    Succeeds with a list of the individual event values (in input order).
+    Fails as soon as any constituent fails.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._pending = 0
+        self._failed = False
+        for ev in self._events:
+            if not isinstance(ev, Event):
+                raise SimulationError(f"AllOf got non-event {ev!r}")
+            if ev.callbacks is None:
+                continue  # already processed
+            self._pending += 1
+            ev.callbacks.append(self._check)
+        if self._pending == 0:
+            self._finish()
+
+    def _check(self, event: Event) -> None:
+        if self._ok is not None:
+            return
+        if not event._ok:
+            self._failed = True
+            self._ok = False
+            self._exc = event._exc
+            self.env._schedule(self, NORMAL, 0.0)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self._finish()
+
+    def _finish(self) -> None:
+        if self._ok is not None:  # pragma: no cover - race with failure
+            return
+        for ev in self._events:
+            if not ev._ok:
+                self._ok = False
+                self._exc = ev._exc
+                self.env._schedule(self, NORMAL, 0.0)
+                return
+        self._ok = True
+        self._value = [ev._value for ev in self._events]
+        self.env._schedule(self, NORMAL, 0.0)
+
+
+class Environment:
+    """The simulation environment: virtual clock plus event queue.
+
+    Typical use::
+
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(3.0)
+            return "done"
+
+        p = env.process(proc(env))
+        env.run()
+        assert env.now == 3.0 and p.value == "done"
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (None between events)."""
+        return self._active
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Start a new process from generator ``gen``."""
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Create an event firing when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event from the queue."""
+        if not self._queue:
+            raise SimulationError("empty schedule")
+        time, _prio, _seq, event = heapq.heappop(self._queue)
+        if time < self._now:  # pragma: no cover - defensive
+            raise SimulationError("time went backwards")
+        self._now = time
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not callbacks:
+            # A failed event (e.g. a crashed process) nobody was waiting
+            # on: surface the error instead of losing it silently.
+            raise event._exc  # type: ignore[misc]
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        * ``until=None`` — run until the event queue drains.
+        * ``until=<number>`` — run until the clock reaches that time.
+        * ``until=<Event>`` — run until that event is processed and return
+          its value (raising if the event failed).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            target = until
+            while self._queue and not target.processed:
+                self.step()
+            if not target.processed:
+                raise SimulationError("simulation ended before target event fired")
+            return target.value
+        deadline = float(until)
+        if deadline < self._now:
+            raise SimulationError(f"until={deadline} is in the past (now={self._now})")
+        while self._queue and self.peek() <= deadline:
+            self.step()
+        self._now = deadline
+        return None

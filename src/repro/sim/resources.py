@@ -1,0 +1,178 @@
+"""Shared resources for the simulation kernel.
+
+Two primitives are provided:
+
+* :class:`Resource` — a counted, FIFO mutual-exclusion resource.  The
+  master's network interface under the strict one-port model of the paper
+  is a ``Resource(env, capacity=1)``: at most one transfer (in either
+  direction) may hold it at a time, and waiters are served in request
+  order.  The two-port ablation uses two such resources (one per
+  direction).
+
+* :class:`Store` — an unbounded (or bounded) FIFO buffer of Python
+  objects, used as per-worker mailboxes: the master ``put``s block
+  descriptors, the worker process ``get``s them.
+
+Both follow the kernel's event protocol: ``request()``/``get()`` return
+events to ``yield`` on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.core import Environment, Event, SimulationError
+
+__all__ = ["Request", "Release", "Resource", "Store"]
+
+
+class Request(Event):
+    """Event representing a pending or granted claim on a :class:`Resource`.
+
+    Usable as a context manager::
+
+        with res.request() as req:
+            yield req
+            ...   # resource held here
+        # released on exit
+    """
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.resource.release(self)
+
+
+class Release(Event):
+    """Event for a release; it always succeeds immediately."""
+
+    def __init__(self, resource: "Resource", request: Request):
+        super().__init__(resource.env)
+        resource._do_release(request)
+        self.succeed()
+
+
+class Resource:
+    """Counted FIFO resource with ``capacity`` concurrent slots.
+
+    Statistics for utilization analysis are tracked: total busy time of
+    each slot is accumulated in :attr:`busy_time` (summed over slots).
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self.queue: Deque[Request] = deque()
+        self.busy_time = 0.0
+        self._grant_times: dict[int, float] = {}
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Claim one slot; the returned event fires when granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> Release:
+        """Release a previously granted slot."""
+        return Release(self, request)
+
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self.capacity:
+            self._grant(request)
+        else:
+            self.queue.append(request)
+
+    def _grant(self, request: Request) -> None:
+        self.users.append(request)
+        self._grant_times[id(request)] = self.env.now
+        request.succeed()
+
+    def _do_release(self, request: Request) -> None:
+        if request in self.users:
+            self.users.remove(request)
+            self.busy_time += self.env.now - self._grant_times.pop(id(request))
+        else:
+            # Cancelling a queued request is allowed.
+            try:
+                self.queue.remove(request)
+            except ValueError:
+                raise SimulationError("releasing a request that was never granted")
+        while self.queue and len(self.users) < self.capacity:
+            self._grant(self.queue.popleft())
+
+
+class StoreGet(Event):
+    """Pending retrieval from a :class:`Store`."""
+
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+        store._gets.append(self)
+        store._dispatch()
+
+
+class StorePut(Event):
+    """Pending insertion into a :class:`Store`."""
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._puts.append(self)
+        store._dispatch()
+
+
+class Store:
+    """FIFO object buffer with optional capacity bound.
+
+    ``put(item)`` returns an event that fires once the item is accepted
+    (immediately unless the store is full); ``get()`` returns an event
+    that fires with the oldest item once one is available.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._gets: Deque[StoreGet] = deque()
+        self._puts: Deque[StorePut] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; event fires when the store has room."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Retrieve the oldest item; event fires when one exists."""
+        return StoreGet(self)
+
+    def _dispatch(self) -> None:
+        # Accept puts while there is room.
+        while self._puts and len(self.items) < self.capacity:
+            put = self._puts.popleft()
+            self.items.append(put.item)
+            put.succeed()
+        # Serve gets while there are items.
+        while self._gets and self.items:
+            get = self._gets.popleft()
+            get.succeed(self.items.popleft())
+        # Accepting a put may have been enabled by a get.
+        while self._puts and len(self.items) < self.capacity:
+            put = self._puts.popleft()
+            self.items.append(put.item)
+            put.succeed()

@@ -1,0 +1,53 @@
+"""The alternating greedy algorithm (Proposition 1).
+
+With a single worker, the master should "send blocks as soon as
+possible, alternating a block of type A and a block of type B (and
+proceed with the remaining blocks when one type is exhausted)".  After
+``x`` sends, with ``y`` A-files and ``z`` B-files delivered, the worker
+can process ``y·z`` tasks; the alternation ``y = ceil(x/2)``,
+``z = floor(x/2)`` maximises that product at every prefix, which is the
+paper's optimality argument.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.simple.model import Send, SimpleInstance, SimpleResult, evaluate_schedule
+
+__all__ = ["alternating_sequence", "alternating_greedy"]
+
+
+def alternating_sequence(r: int, s: int, worker: int = 1) -> list[Send]:
+    """The alternating send order for one worker: A1, B1, A2, B2, …
+
+    When one type runs out (``r ≠ s``), the remaining files of the other
+    type follow.  Starting with A when ``r ≥ s`` (and B otherwise) keeps
+    the per-prefix enabled-task count maximal, matching Proposition 1's
+    ``y = ceil(x/2)`` choice.
+    """
+    if r < 1 or s < 1:
+        raise ValueError("r and s must be >= 1")
+    sends: list[Send] = []
+    a_first = r >= s
+    ai, bj = 1, 1
+    while ai <= r or bj <= s:
+        pick_a = ai <= r and (bj > s or (len(sends) % 2 == 0) == a_first)
+        if pick_a:
+            sends.append(Send(worker, "A", ai))
+            ai += 1
+        else:
+            sends.append(Send(worker, "B", bj))
+            bj += 1
+    return sends
+
+
+def alternating_greedy(inst: SimpleInstance) -> SimpleResult:
+    """Run the alternating greedy on a single-worker instance.
+
+    Raises ``ValueError`` when the instance has more than one worker —
+    the algorithm (and its optimality) is defined for ``p = 1``.
+    """
+    if inst.p != 1:
+        raise ValueError("alternating greedy is the single-worker algorithm (p=1)")
+    return evaluate_schedule(inst, alternating_sequence(inst.r, inst.s))

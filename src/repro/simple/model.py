@@ -1,0 +1,182 @@
+"""Instance, schedule and evaluator for the Section 3 model.
+
+A *schedule* is the master's ordered list of sends; everything else is
+determined by the model's greedy execution semantics:
+
+* the master's port is busy ``c`` time units per send, back to back;
+* a worker that receives a file immediately *claims* every so-far
+  unclaimed task both of whose files it now holds (lexicographic order —
+  a deterministic tie-break);
+* each worker processes its claimed tasks FIFO, ``w`` time units each,
+  starting no earlier than the enabling file's arrival.
+
+These semantics make schedule evaluation a pure function of the send
+order, which is exactly the design space Section 3 explores ("the
+scheduling problem amounts to deciding which files should be sent to
+which workers and in which order").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Literal, Optional, Sequence
+
+__all__ = [
+    "Send",
+    "SimpleInstance",
+    "SimpleResult",
+    "evaluate_schedule",
+    "greedy_task_count",
+]
+
+FileKind = Literal["A", "B"]
+
+
+@dataclass(frozen=True)
+class SimpleInstance:
+    """One Section-3 problem instance.
+
+    Attributes:
+        r: number of A stripes (task-grid rows).
+        s: number of B stripes (task-grid columns).
+        p: number of identical workers.
+        c: master-port time per file sent.
+        w: worker time per task.
+    """
+
+    r: int
+    s: int
+    p: int
+    c: float
+    w: float
+
+    def __post_init__(self) -> None:
+        if self.r < 1 or self.s < 1 or self.p < 1:
+            raise ValueError("r, s, p must all be >= 1")
+        if self.c <= 0 or self.w <= 0:
+            raise ValueError("c and w must be positive")
+
+    @property
+    def tasks(self) -> int:
+        """Total number of tasks, r·s."""
+        return self.r * self.s
+
+
+@dataclass(frozen=True)
+class Send:
+    """One master send: file ``kind``/``index`` to worker ``worker``.
+
+    Workers are 1-based; file indices are 1-based (``A_i`` or ``B_j``).
+    """
+
+    worker: int
+    kind: FileKind
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("A", "B"):
+            raise ValueError(f"kind must be 'A' or 'B', got {self.kind!r}")
+        if self.worker < 1 or self.index < 1:
+            raise ValueError("worker and index are 1-based (>= 1)")
+
+
+@dataclass(frozen=True)
+class SimpleResult:
+    """Evaluation of a schedule.
+
+    Attributes:
+        makespan: completion time of the last task.
+        schedule: the evaluated send order.
+        tasks_done: number of distinct tasks computed.
+        task_worker: mapping ``(i, j) → worker`` of who computed what.
+        finish_times: per-worker completion time of its last task.
+        comm_volume: number of sends (each costs ``c``).
+    """
+
+    makespan: float
+    schedule: tuple[Send, ...]
+    tasks_done: int
+    task_worker: dict[tuple[int, int], int]
+    finish_times: tuple[float, ...]
+    comm_volume: int
+
+
+def evaluate_schedule(
+    inst: SimpleInstance,
+    schedule: Sequence[Send],
+    require_complete: bool = True,
+) -> SimpleResult:
+    """Execute ``schedule`` under the greedy-claim semantics.
+
+    Raises ``ValueError`` when the schedule is invalid (unknown worker,
+    duplicate file delivery to the same worker) or — with
+    ``require_complete`` — leaves tasks uncomputed.
+    """
+    held_a: list[set[int]] = [set() for _ in range(inst.p)]
+    held_b: list[set[int]] = [set() for _ in range(inst.p)]
+    busy = [0.0] * inst.p
+    claimed: set[tuple[int, int]] = set()
+    task_worker: dict[tuple[int, int], int] = {}
+    now = 0.0
+    for send in schedule:
+        if not 1 <= send.worker <= inst.p:
+            raise ValueError(f"send to unknown worker {send.worker} (p={inst.p})")
+        widx = send.worker - 1
+        if send.kind == "A":
+            if not 1 <= send.index <= inst.r:
+                raise ValueError(f"A index {send.index} out of 1..{inst.r}")
+            if send.index in held_a[widx]:
+                raise ValueError(f"worker {send.worker} already holds A{send.index}")
+        else:
+            if not 1 <= send.index <= inst.s:
+                raise ValueError(f"B index {send.index} out of 1..{inst.s}")
+            if send.index in held_b[widx]:
+                raise ValueError(f"worker {send.worker} already holds B{send.index}")
+        now += inst.c  # one-port master: sends are serialized
+        arrival = now
+        if send.kind == "A":
+            held_a[widx].add(send.index)
+            enabled = [
+                (send.index, j) for j in sorted(held_b[widx])
+                if (send.index, j) not in claimed
+            ]
+        else:
+            held_b[widx].add(send.index)
+            enabled = [
+                (i, send.index) for i in sorted(held_a[widx])
+                if (i, send.index) not in claimed
+            ]
+        for task in enabled:
+            claimed.add(task)
+            task_worker[task] = send.worker
+            busy[widx] = max(busy[widx], arrival) + inst.w
+    if require_complete and len(claimed) != inst.tasks:
+        missing = inst.tasks - len(claimed)
+        raise ValueError(f"schedule leaves {missing} of {inst.tasks} tasks uncomputed")
+    makespan = max(busy) if claimed else 0.0
+    return SimpleResult(
+        makespan=makespan,
+        schedule=tuple(schedule),
+        tasks_done=len(claimed),
+        task_worker=task_worker,
+        finish_times=tuple(busy),
+        comm_volume=len(schedule),
+    )
+
+
+def greedy_task_count(x: int, r: int, s: int) -> int:
+    """Max tasks enabled by ``x`` sends to one worker (Proposition 1).
+
+    With ``y`` A-files and ``z`` B-files, ``y + z = x``, a single worker
+    can process ``y·z`` tasks; the alternating greedy achieves the
+    maximum ``ceil(x/2)·floor(x/2)`` (clipped by the grid bounds r, s).
+    """
+    if x < 0:
+        raise ValueError(f"x must be >= 0, got {x}")
+    best = 0
+    for y in range(0, min(x, r) + 1):
+        z = min(x - y, s)
+        if z < 0:
+            continue
+        best = max(best, y * z)
+    return best

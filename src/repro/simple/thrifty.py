@@ -1,0 +1,155 @@
+"""The Thrifty greedy algorithm (Section 3).
+
+Thrifty "spares" resources: it keeps each already-enrolled worker fully
+active, feeds later workers only during spare communication slots, and
+enrolls a new worker only when doing so delays nobody already enrolled.
+
+Concretely, whenever the master port frees up at time ``tau``:
+
+1. serve, in enrolment order, the first enrolled worker whose queued
+   work runs out before it could receive a file *two* slots from now
+   (``supply_end < tau + 2c``) — that worker's supply is at risk;
+2. otherwise every enrolled worker is safe for at least one slot: the
+   slot is *spare*, so enroll the next worker (if any remain and
+   unclaimed tasks exist) and send it its first file;
+3. otherwise give the slot to the enrolled worker with the least queued
+   work that can still use a file.
+
+File choice per worker is alternating-greedy generalised to a shared
+task pool: pick the file enabling the most still-unclaimed tasks
+immediately, breaking ties by future potential, then by type (A first)
+and index.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.simple.model import Send, SimpleInstance, SimpleResult, evaluate_schedule
+
+__all__ = ["thrifty"]
+
+
+class _WorkerState:
+    """Book-keeping for one worker during the Thrifty simulation."""
+
+    def __init__(self) -> None:
+        self.held_a: set[int] = set()
+        self.held_b: set[int] = set()
+        self.supply_end = 0.0  # time at which queued work runs out
+
+
+def _score_file(
+    state: _WorkerState,
+    kind: str,
+    index: int,
+    unclaimed: set[tuple[int, int]],
+    r: int,
+    s: int,
+) -> tuple[int, int]:
+    """(immediately enabled unclaimed tasks, future potential) of a file."""
+    if kind == "A":
+        now = sum(1 for j in state.held_b if (index, j) in unclaimed)
+        future = sum(1 for j in range(1, s + 1) if (index, j) in unclaimed)
+    else:
+        now = sum(1 for i in state.held_a if (i, index) in unclaimed)
+        future = sum(1 for i in range(1, r + 1) if (i, index) in unclaimed)
+    return now, future
+
+
+def _next_file(
+    state: _WorkerState,
+    unclaimed: set[tuple[int, int]],
+    inst: SimpleInstance,
+) -> Optional[tuple[str, int]]:
+    """Best next file for this worker, or None when nothing is useful."""
+    best: Optional[tuple[str, int]] = None
+    best_key: tuple[int, int, int, int] = (-1, -1, 0, 0)
+    for kind, limit, held in (
+        ("A", inst.r, state.held_a),
+        ("B", inst.s, state.held_b),
+    ):
+        # Alternation bias: prefer the scarcer type on equal task scores.
+        balance = 1 if (
+            (kind == "A" and len(state.held_a) <= len(state.held_b))
+            or (kind == "B" and len(state.held_b) < len(state.held_a))
+        ) else 0
+        for index in range(1, limit + 1):
+            if index in held:
+                continue
+            now, future = _score_file(state, kind, index, unclaimed, inst.r, inst.s)
+            if now == 0 and future == 0:
+                continue
+            key = (now, future, balance, -index)
+            if key > best_key:
+                best_key, best = key, (kind, index)
+    return best
+
+
+def thrifty(inst: SimpleInstance) -> SimpleResult:
+    """Run Thrifty on ``inst`` and evaluate the resulting schedule."""
+    states = [_WorkerState() for _ in range(inst.p)]
+    unclaimed = {(i, j) for i in range(1, inst.r + 1) for j in range(1, inst.s + 1)}
+    enrolled: list[int] = []
+    schedule: list[Send] = []
+    tau = 0.0
+
+    def commit(widx: int, kind: str, index: int) -> None:
+        nonlocal tau
+        st = states[widx]
+        arrival = tau + inst.c
+        if kind == "A":
+            st.held_a.add(index)
+            enabled = sorted(
+                (index, j) for j in st.held_b if (index, j) in unclaimed
+            )
+        else:
+            st.held_b.add(index)
+            enabled = sorted(
+                (i, index) for i in st.held_a if (i, index) in unclaimed
+            )
+        for task in enabled:
+            unclaimed.discard(task)
+            st.supply_end = max(st.supply_end, arrival) + inst.w
+        tau = arrival
+        schedule.append(Send(widx + 1, kind, index))
+
+    while unclaimed:
+        if not enrolled:
+            enrolled.append(0)
+            choice = _next_file(states[0], unclaimed, inst)
+            assert choice is not None
+            commit(0, *choice)
+            continue
+        # 1. Serve the first enrolled worker at supply risk.
+        served = False
+        for widx in enrolled:
+            st = states[widx]
+            if st.supply_end < tau + 2 * inst.c:
+                choice = _next_file(st, unclaimed, inst)
+                if choice is not None:
+                    commit(widx, *choice)
+                    served = True
+                    break
+        if served:
+            continue
+        # 2. Spare slot: enroll a new worker without delaying anyone.
+        if len(enrolled) < inst.p:
+            widx = len(enrolled)
+            choice = _next_file(states[widx], unclaimed, inst)
+            if choice is not None:
+                enrolled.append(widx)
+                commit(widx, *choice)
+                continue
+        # 3. Feed the least-loaded enrolled worker that can use a file.
+        candidates = []
+        for widx in enrolled:
+            choice = _next_file(states[widx], unclaimed, inst)
+            if choice is not None:
+                candidates.append((states[widx].supply_end, widx, choice))
+        if not candidates:  # pragma: no cover - cannot happen while unclaimed
+            raise RuntimeError("no useful file although tasks remain")
+        _, widx, choice = min(candidates)
+        commit(widx, *choice)
+
+    return evaluate_schedule(inst, schedule)

@@ -1,0 +1,80 @@
+"""Tests for Gantt rendering and table formatting (repro.analysis)."""
+
+import pytest
+
+from repro.analysis import format_table, gantt_selection, gantt_trace
+from repro.blocks import ProblemShape
+from repro.core.heterogeneous import global_selection
+from repro.engine import run_scheduler
+from repro.platform import Platform, table2_platform
+from repro.schedulers import HoLM
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        out = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert len(lines) == 4  # header, rule, 2 rows
+
+    def test_title_included(self):
+        assert format_table([{"x": 1}], title="T").startswith("T\n")
+
+    def test_missing_keys_render_empty(self):
+        out = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "3" in out
+
+    def test_empty_rows(self):
+        assert format_table([], title="nothing") == "nothing"
+
+    def test_float_formatting(self):
+        out = format_table([{"v": 1.23456789e7}, {"v": 0.0001}, {"v": 0.0}])
+        assert "1.235e+07" in out
+        assert "1.000e-04" in out
+
+    def test_column_order_respected(self):
+        out = format_table([{"b": 1, "a": 2}], columns=["a", "b"])
+        header = out.splitlines()[0]
+        assert header.index("a") < header.index("b")
+
+
+class TestGanttSelection:
+    def test_renders_all_rows(self):
+        sel = global_selection(table2_platform(), 10**4, 10**5, 10**4, max_steps=20)
+        chart = gantt_selection(sel, workers=3, width=80)
+        lines = chart.splitlines()
+        assert lines[0].startswith("M")
+        assert any(line.startswith("P1") for line in lines)
+        assert any(line.startswith("P3") for line in lines)
+
+    def test_comm_marks_are_worker_digits(self):
+        sel = global_selection(table2_platform(), 10**4, 10**5, 10**4, max_steps=20)
+        chart = gantt_selection(sel, workers=3, width=80)
+        master_row = chart.splitlines()[0]
+        assert "2" in master_row  # first selection is P2
+
+    def test_truncation(self):
+        sel = global_selection(table2_platform(), 10**4, 10**5, 10**4, max_steps=40)
+        chart = gantt_selection(sel, workers=3, width=60, max_time=500.0)
+        assert "500" in chart.splitlines()[-1]
+
+    def test_zero_horizon_rejected(self):
+        sel = global_selection(table2_platform(), 10**4, 10**5, 10**4, max_steps=5)
+        with pytest.raises(ValueError):
+            gantt_selection(sel, workers=3, max_time=0.0)
+
+
+class TestGanttTrace:
+    def test_trace_chart_contains_compute_marks(self):
+        shape = ProblemShape(r=4, s=4, t=2, q=2)
+        plat = Platform.homogeneous(2, c=0.5, w=0.5, m=21)
+        trace = run_scheduler(HoLM(), plat, shape)
+        chart = gantt_trace(trace, workers=2, width=80)
+        assert "#" in chart
+
+    def test_recv_marked_with_caret(self):
+        shape = ProblemShape(r=2, s=2, t=1, q=2)
+        plat = Platform.homogeneous(1, c=0.5, w=0.5, m=21)
+        trace = run_scheduler(HoLM(), plat, shape)
+        chart = gantt_trace(trace, workers=1, width=80)
+        assert "^" in chart.splitlines()[0]

@@ -1,0 +1,156 @@
+"""Tests for the block-matrix substrate (repro.blocks)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocks import (
+    BlockMatrix,
+    ProblemShape,
+    make_product_instance,
+    max_block_error,
+    verify_product,
+)
+
+
+class TestProblemShape:
+    def test_from_elements_section83(self):
+        # "in the first case we have r = t = 100 and s = 800"
+        shape = ProblemShape.from_elements(8000, 8000, 64000, q=80)
+        assert (shape.r, shape.t, shape.s) == (100, 100, 800)
+
+    def test_from_elements_requires_divisibility(self):
+        with pytest.raises(ValueError):
+            ProblemShape.from_elements(8001, 8000, 64000, q=80)
+
+    def test_counts(self):
+        shape = ProblemShape(r=3, s=4, t=5, q=2)
+        assert shape.c_blocks == 12
+        assert shape.total_updates == 60
+        assert shape.total_flops == 60 * 2 * 8
+
+    def test_element_dims(self):
+        shape = ProblemShape(r=3, s=4, t=5, q=10)
+        assert (shape.n_a, shape.n_ab, shape.n_b) == (30, 50, 40)
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            ProblemShape(r=0, s=1, t=1)
+        with pytest.raises(ValueError):
+            ProblemShape(r=1, s=1, t=1, q=0)
+
+    def test_c_indices_row_major(self):
+        shape = ProblemShape(r=2, s=2, t=1)
+        assert list(shape.c_indices()) == [(1, 1), (1, 2), (2, 1), (2, 2)]
+
+    def test_index_checks(self):
+        shape = ProblemShape(r=2, s=3, t=4)
+        shape.check_c(2, 3)
+        shape.check_a(2, 4)
+        shape.check_b(4, 3)
+        with pytest.raises(IndexError):
+            shape.check_c(3, 1)
+        with pytest.raises(IndexError):
+            shape.check_a(1, 5)
+        with pytest.raises(IndexError):
+            shape.check_b(0, 1)
+
+
+class TestBlockMatrix:
+    def test_zeros_and_shape(self):
+        m = BlockMatrix.zeros(2, 3, q=4)
+        assert m.shape == (8, 12)
+        assert m.block_shape == (2, 3)
+
+    def test_block_is_view(self):
+        m = BlockMatrix.zeros(2, 2, q=2)
+        m.block(1, 1)[:] = 7.0
+        assert m.array[0, 0] == 7.0
+
+    def test_set_block_and_get(self):
+        m = BlockMatrix.zeros(2, 2, q=2)
+        patch = np.arange(4.0).reshape(2, 2)
+        m.set_block(2, 1, patch)
+        assert np.array_equal(m.block(2, 1), patch)
+
+    def test_set_block_wrong_shape(self):
+        m = BlockMatrix.zeros(2, 2, q=2)
+        with pytest.raises(ValueError):
+            m.set_block(1, 1, np.zeros((3, 3)))
+
+    def test_out_of_range_block(self):
+        m = BlockMatrix.zeros(2, 2, q=2)
+        with pytest.raises(IndexError):
+            m.block(0, 1)
+        with pytest.raises(IndexError):
+            m.block(1, 3)
+
+    def test_indivisible_shape_rejected(self):
+        with pytest.raises(ValueError):
+            BlockMatrix(np.zeros((5, 4)), q=2)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            BlockMatrix(np.zeros(4), q=2)
+
+    def test_update_block_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        c = BlockMatrix.random(1, 1, 4, rng)
+        ref = c.array.copy()
+        a = rng.normal(size=(4, 4))
+        b = rng.normal(size=(4, 4))
+        c.update_block(1, 1, a, b)
+        assert np.allclose(c.array, ref + a @ b)
+
+    def test_copy_is_deep(self):
+        m = BlockMatrix.zeros(1, 1, q=2)
+        cp = m.copy()
+        cp.array[0, 0] = 9.0
+        assert m.array[0, 0] == 0.0
+
+    def test_random_seeded(self):
+        a = BlockMatrix.random(2, 2, 3, np.random.default_rng(5))
+        b = BlockMatrix.random(2, 2, 3, np.random.default_rng(5))
+        assert np.array_equal(a.array, b.array)
+
+
+class TestVerification:
+    def test_make_instance_shapes(self):
+        shape = ProblemShape(r=2, s=3, t=4, q=5)
+        a, b, c = make_product_instance(shape, seed=1)
+        assert a.block_shape == (2, 4)
+        assert b.block_shape == (4, 3)
+        assert c.block_shape == (2, 3)
+
+    def test_verify_accepts_correct_product(self):
+        shape = ProblemShape(r=2, s=2, t=3, q=4)
+        a, b, c0 = make_product_instance(shape, seed=2)
+        result = BlockMatrix(c0.array + a.array @ b.array, q=4)
+        assert verify_product(a, b, c0, result)
+        assert max_block_error(a, b, c0, result) == 0.0
+
+    def test_verify_rejects_wrong_product(self):
+        shape = ProblemShape(r=2, s=2, t=3, q=4)
+        a, b, c0 = make_product_instance(shape, seed=3)
+        wrong = c0.copy()
+        assert not verify_product(a, b, c0, wrong)
+
+    @given(
+        r=st.integers(1, 3),
+        s=st.integers(1, 3),
+        t=st.integers(1, 3),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_blockwise_accumulation_equals_dense_product(self, r, s, t, seed):
+        """Property: applying every (i,j,k) block update once, in any
+        fixed order, reproduces the dense product."""
+        shape = ProblemShape(r=r, s=s, t=t, q=3)
+        a, b, c0 = make_product_instance(shape, seed=seed)
+        c = c0.copy()
+        for i in range(1, r + 1):
+            for j in range(1, s + 1):
+                for k in range(1, t + 1):
+                    c.update_block(i, j, a.block(i, k), b.block(k, j))
+        assert verify_product(a, b, c0, c)

@@ -1,0 +1,137 @@
+"""Tests for chunk/phase construction (repro.engine.chunks)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocks import ProblemShape
+from repro.engine.chunks import (
+    Chunk,
+    Phase,
+    check_chunk_cover,
+    tile_chunks,
+    toledo_chunks,
+)
+
+
+class TestPhase:
+    def test_in_blocks(self):
+        ph = Phase((0, 1), a_blocks=3, b_blocks=4, updates=12)
+        assert ph.in_blocks == 7
+
+
+class TestChunk:
+    def test_geometry(self):
+        ph = Phase((0, 2), 6, 8, 24)
+        ch = Chunk((0, 3), (0, 4), (ph,))
+        assert ch.rows == 3
+        assert ch.cols == 4
+        assert ch.c_blocks == 12
+        assert ch.updates == 24
+        assert ch.comm_blocks == 2 * 12 + 14
+
+
+class TestTileChunks:
+    def test_exact_tiling(self):
+        shape = ProblemShape(r=4, s=6, t=3, q=2)
+        chunks = tile_chunks(shape, mu=2)
+        assert len(chunks) == 2 * 3
+        check_chunk_cover(shape, chunks)
+        for ch in chunks:
+            assert len(ch.phases) == shape.t
+            for ph in ch.phases:
+                assert ph.a_blocks == 2 and ph.b_blocks == 2
+                assert ph.updates == 4
+
+    def test_ragged_tiling(self):
+        shape = ProblemShape(r=5, s=7, t=2, q=2)
+        chunks = tile_chunks(shape, mu=3)
+        check_chunk_cover(shape, chunks)
+        # 2 row groups (3+2) x 3 col groups (3+3+1).
+        assert len(chunks) == 6
+        sizes = sorted(ch.c_blocks for ch in chunks)
+        assert sizes == [2, 3, 6, 6, 9, 9]
+
+    def test_mu_larger_than_matrix(self):
+        shape = ProblemShape(r=2, s=2, t=2, q=2)
+        chunks = tile_chunks(shape, mu=10)
+        assert len(chunks) == 1
+        assert chunks[0].c_blocks == 4
+
+    def test_column_panel_major_order(self):
+        """All row tiles of a column panel precede the next panel
+        (Algorithm 1's loop order)."""
+        shape = ProblemShape(r=4, s=4, t=1, q=2)
+        chunks = tile_chunks(shape, mu=2)
+        cols = [ch.col_range for ch in chunks]
+        assert cols == [(0, 2), (0, 2), (2, 4), (2, 4)]
+
+    def test_invalid_mu(self):
+        with pytest.raises(ValueError):
+            tile_chunks(ProblemShape(r=2, s=2, t=1), mu=0)
+
+    @given(
+        r=st.integers(1, 12),
+        s=st.integers(1, 12),
+        t=st.integers(1, 6),
+        mu=st.integers(1, 6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cover_property(self, r, s, t, mu):
+        shape = ProblemShape(r=r, s=s, t=t, q=2)
+        chunks = tile_chunks(shape, mu)
+        check_chunk_cover(shape, chunks)
+        assert sum(ch.updates for ch in chunks) == shape.total_updates
+
+
+class TestToledoChunks:
+    def test_sigma_wide_phases(self):
+        shape = ProblemShape(r=4, s=4, t=6, q=2)
+        chunks = toledo_chunks(shape, sigma=2)
+        check_chunk_cover(shape, chunks)
+        for ch in chunks:
+            assert len(ch.phases) == 3  # t=6 in sigma=2 groups
+            for ph in ch.phases:
+                assert ph.a_blocks == 4  # sigma x sigma tile of A
+                assert ph.b_blocks == 4
+                assert ph.updates == 8  # sigma^3
+
+    def test_ragged_k(self):
+        shape = ProblemShape(r=2, s=2, t=5, q=2)
+        chunks = toledo_chunks(shape, sigma=2)
+        check_chunk_cover(shape, chunks)
+        widths = [ph.k_range[1] - ph.k_range[0] for ph in chunks[0].phases]
+        assert widths == [2, 2, 1]
+
+    @given(
+        r=st.integers(1, 10),
+        s=st.integers(1, 10),
+        t=st.integers(1, 8),
+        sigma=st.integers(1, 5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cover_property(self, r, s, t, sigma):
+        shape = ProblemShape(r=r, s=s, t=t, q=2)
+        chunks = toledo_chunks(shape, sigma)
+        check_chunk_cover(shape, chunks)
+        assert sum(ch.updates for ch in chunks) == shape.total_updates
+
+
+class TestCheckChunkCover:
+    def test_detects_double_cover(self):
+        shape = ProblemShape(r=2, s=2, t=1, q=2)
+        chunks = tile_chunks(shape, 2) + tile_chunks(shape, 2)
+        with pytest.raises(ValueError, match="twice"):
+            check_chunk_cover(shape, chunks)
+
+    def test_detects_missing_blocks(self):
+        shape = ProblemShape(r=2, s=2, t=1, q=2)
+        chunks = tile_chunks(shape, 2)[:0]
+        with pytest.raises(ValueError, match="cover"):
+            check_chunk_cover(shape, chunks)
+
+    def test_detects_wrong_update_count(self):
+        shape = ProblemShape(r=2, s=2, t=2, q=2)
+        bad = Chunk((0, 2), (0, 2), (Phase((0, 1), 2, 2, 4),))  # misses k=1
+        with pytest.raises(ValueError, match="updates"):
+            check_chunk_cover(shape, [bad])

@@ -1,0 +1,108 @@
+"""Cross-implementation checks: analytical evaluators vs the DES kernel.
+
+Two independent implementations of the same semantics must agree — the
+strongest guard this repository has against a bug in either the event
+kernel or the closed-form evaluators.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lu.homogeneous import lu_makespan_estimate, lu_worker_count
+from repro.lu.scheduler import simulate_parallel_lu
+from repro.platform import Platform, ut_cluster_platform
+from repro.simple import (
+    SimpleInstance,
+    alternating_sequence,
+    evaluate_schedule,
+    min_min,
+    thrifty,
+)
+from repro.simple.dessim import simulate_schedule_des
+
+
+@st.composite
+def instances_with_schedules(draw):
+    r = draw(st.integers(1, 4))
+    s = draw(st.integers(1, 4))
+    p = draw(st.integers(1, 3))
+    c = draw(st.sampled_from([0.5, 1.0, 4.0]))
+    w = draw(st.sampled_from([1.0, 3.0, 9.0]))
+    inst = SimpleInstance(r=r, s=s, p=p, c=c, w=w)
+    # A complete schedule: every worker-independent file sent to a
+    # random worker; built by running one of the heuristics.
+    algo = draw(st.sampled_from(["thrifty", "minmin", "alt"]))
+    if algo == "alt":
+        schedule = list(alternating_sequence(r, s, worker=1))
+    elif algo == "thrifty":
+        schedule = list(thrifty(inst).schedule)
+    else:
+        schedule = list(min_min(inst).schedule)
+    return inst, schedule
+
+
+class TestSimpleModelVsDES:
+    @given(instances_with_schedules())
+    @settings(max_examples=60, deadline=None)
+    def test_makespans_agree(self, inst_sched):
+        """The analytical evaluator and the DES execution agree exactly."""
+        inst, schedule = inst_sched
+        analytical = evaluate_schedule(
+            inst, schedule, require_complete=False
+        ).makespan
+        des = simulate_schedule_des(inst, schedule)
+        assert des == pytest.approx(analytical, abs=1e-9)
+
+    def test_empty_schedule(self):
+        inst = SimpleInstance(r=1, s=1, p=1, c=1, w=1)
+        assert simulate_schedule_des(inst, []) == 0.0
+
+
+class TestParallelLUSimulation:
+    def test_trace_is_valid_and_complete(self):
+        plat = ut_cluster_platform(p=8)
+        trace = simulate_parallel_lu(plat, r=56, mu=14)
+        # All core + pivot + panel operations accounted for.
+        assert trace.makespan > 0
+        assert trace.comm_blocks > 0
+        trace.check_invariants()
+
+    def test_simulation_close_to_estimate(self):
+        """The engine simulation and the closed-form estimate agree
+        within the estimate's slack (it assumes perfect overlap inside
+        each core update and none across steps)."""
+        plat = ut_cluster_platform(p=8)
+        wk = plat.workers[0]
+        r, mu = 56, 14
+        sim = simulate_parallel_lu(plat, r, mu).makespan
+        est = lu_makespan_estimate(r, mu, wk.c, wk.w, plat.p)
+        assert sim == pytest.approx(est, rel=0.35)
+
+    def test_more_workers_helps_until_port_bound(self):
+        plat1 = Platform.homogeneous(1, c=0.01, w=1.0, m=1000)
+        plat4 = Platform.homogeneous(4, c=0.01, w=1.0, m=1000)
+        t1 = simulate_parallel_lu(plat1, r=24, mu=6).makespan
+        t4 = simulate_parallel_lu(plat4, r=24, mu=6).makespan
+        assert t4 < t1
+
+    def test_enrolment_matches_formula(self):
+        plat = Platform.homogeneous(8, c=0.1, w=1.0, m=1000)
+        mu = 6
+        r = 36
+        trace = simulate_parallel_lu(plat, r=r, mu=mu)
+        wk = plat.workers[0]
+        expected = lu_worker_count(mu, wk.c, wk.w, plat.p)
+        # The first step has only r/mu - 1 core column groups, which caps
+        # how many workers can ever receive one.
+        assert len(trace.enrolled_workers) == min(expected, r // mu - 1)
+
+    def test_heterogeneous_platform_rejected(self):
+        plat = Platform.heterogeneous([1, 2], [1, 1], [100, 100])
+        with pytest.raises(ValueError):
+            simulate_parallel_lu(plat, r=12, mu=3)
+
+    def test_divisibility_enforced(self):
+        plat = ut_cluster_platform(p=2)
+        with pytest.raises(ValueError):
+            simulate_parallel_lu(plat, r=50, mu=7)

@@ -1,0 +1,252 @@
+"""Tests for the experiment harness — each table/figure's headline claim.
+
+These are the repository's "does the reproduction show what the paper
+shows" checks: every experiment's ``run()`` is executed (at reduced
+scale where the full one is slow) and the paper's qualitative claims
+are asserted on its output rows.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    ablations,
+    bounds,
+    fig04,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    hetero,
+    lu,
+    maxreuse_trace,
+    table1,
+    table2,
+)
+
+
+class TestFig04:
+    def test_minmin_wins_a_thrifty_wins_b(self):
+        rows = fig04.run(brute_force=False)
+        a, b = rows
+        assert a["winner"] == "Min-min"
+        assert b["winner"] == "Thrifty"
+
+    def test_neither_optimal_on_a(self):
+        rows = fig04.run(brute_force=True)
+        a = rows[0]
+        assert a["optimal"] <= min(a["thrifty"], a["min_min"])
+        assert a["optimal"] < a["thrifty"]
+
+
+class TestBounds:
+    def test_ordering_invariants(self):
+        for row in bounds.run(memories=(21, 241, 4095), t=20):
+            assert row["bound_prev_best"] < row["bound_toledo_refined"]
+            assert row["bound_toledo_refined"] < row["bound_loomis_whitney"]
+            assert row["bound_loomis_whitney"] <= row["ccr_maxreuse_inf"]
+
+    def test_simulated_matches_formula(self):
+        for row in bounds.run(memories=(21, 111), t=20):
+            assert row["ccr_simulated(t)"] == pytest.approx(
+                row["ccr_maxreuse(t)"], rel=1e-9
+            )
+
+    def test_gap_near_sqrt_32_27(self):
+        row = bounds.run(memories=(10000,), t=20)[0]
+        assert row["gap_vs_LW"] == pytest.approx(math.sqrt(32 / 27), rel=0.02)
+
+
+class TestMaxreuseTrace:
+    def test_m21_walkthrough(self):
+        row = maxreuse_trace.run(m=21, t=4)
+        assert row["mu"] == 4
+        assert row["a_buffers"] == 1
+        assert row["b_buffers"] == 4
+        assert row["c_buffers"] == 16
+        assert row["peak_measured"] == 21
+        assert row["ccr"] == pytest.approx(row["ccr_formula"])
+
+
+class TestTable1:
+    def test_p1_infeasible_p2_feasible(self):
+        rows = table1.run()
+        assert not rows[0]["feasible"]
+        assert rows[1]["feasible"]
+
+    def test_equal_port_shares(self):
+        rows = table1.run()
+        assert rows[0]["2c/(mu*w)"] == rows[1]["2c/(mu*w)"] == 0.5
+
+
+class TestTable2:
+    def test_paper_ratios(self):
+        rows = {r["algorithm"]: r for r in table2.run(steps=1500)}
+        assert rows["steady-state bound"]["ratio"] == pytest.approx(25 / 18)
+        assert rows["global (Algorithm 3)"]["ratio"] == pytest.approx(1.17, abs=0.01)
+        assert rows["local"]["ratio"] == pytest.approx(1.21, abs=0.01)
+        assert rows["lookahead depth=2"]["ratio"] == pytest.approx(1.30, abs=0.015)
+
+    def test_ratio_ordering(self):
+        rows = {r["algorithm"]: r for r in table2.run(steps=1000)}
+        assert (
+            rows["global (Algorithm 3)"]["ratio"]
+            < rows["local"]["ratio"]
+            < rows["lookahead depth=2"]["ratio"]
+            < rows["steady-state bound"]["ratio"]
+        )
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig10.run(scale=1)
+
+    def test_all_21_rows_present(self, rows):
+        assert len(rows) == 21  # 7 algorithms x 3 workloads
+
+    def test_optimized_layout_beats_bmm_everywhere(self, rows):
+        by_workload: dict = {}
+        for row in rows:
+            by_workload.setdefault(row["workload"], {})[row["algorithm"]] = row
+        for algos in by_workload.values():
+            for name in ("HoLM", "ORROML", "ODDOML"):
+                assert algos[name]["makespan_s"] < algos["BMM"]["makespan_s"]
+
+    def test_holm_group_similar_within_noise(self, rows):
+        """HoLM/ORROML/ODDOML/DDOML within the ~6% Figure 11 band."""
+        by_workload: dict = {}
+        for row in rows:
+            by_workload.setdefault(row["workload"], {})[row["algorithm"]] = row
+        for algos in by_workload.values():
+            group = [
+                algos[n]["makespan_s"]
+                for n in ("HoLM", "ORROML", "ODDOML", "DDOML")
+            ]
+            # DDOML pays for its missing overlap a little more in our
+            # model than in the paper's measurements; ~10% still counts
+            # as "similar" next to BMM's 15-50% penalty.
+            assert (max(group) - min(group)) / min(group) < 0.12
+
+    def test_ommoml_slower_with_fewer_workers(self, rows):
+        by_workload: dict = {}
+        for row in rows:
+            by_workload.setdefault(row["workload"], {})[row["algorithm"]] = row
+        for algos in by_workload.values():
+            assert algos["OMMOML"]["makespan_s"] > algos["HoLM"]["makespan_s"]
+            assert algos["OMMOML"]["workers"] < algos["ORROML"]["workers"]
+
+    def test_holm_uses_four_workers(self, rows):
+        for row in rows:
+            if row["algorithm"] == "HoLM":
+                assert row["workers"] == 4
+
+
+class TestFig11:
+    def test_spread_in_paper_band(self):
+        rows = fig11.run(runs=4, scale=8)
+        worst = max(r["spread_pct"] for r in rows)
+        assert 0 < worst < 15.0  # the paper's ~6% is run-dependent
+
+    def test_all_algorithms_measured(self):
+        rows = fig11.run(runs=2, scale=8)
+        assert len(rows) == 7
+
+
+class TestFig12:
+    def test_block_size_has_little_impact(self):
+        rows = fig12.run(scale=2)
+        for row in rows:
+            assert row["spread_pct"] < 10.0
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig13.run(scale=1, memories_mb=(132.0, 512.0))
+
+    def test_more_memory_is_faster(self, rows):
+        by_algo: dict = {}
+        for row in rows:
+            by_algo.setdefault(row["algorithm"], {})[row["memory_mb"]] = row
+        for algo, mem_rows in by_algo.items():
+            assert (
+                mem_rows[512.0]["makespan_s"] <= mem_rows[132.0]["makespan_s"] * 1.001
+            ), algo
+
+    def test_holm_worker_progression_2_to_4(self, rows):
+        """Figure 13: HoLM enrolls 2 workers at 132MB and 4 at 512MB."""
+        holm = {r["memory_mb"]: r for r in rows if r["algorithm"] == "HoLM"}
+        assert holm[132.0]["workers"] == 2
+        assert holm[512.0]["workers"] == 4
+
+    def test_holm_competitive_at_both_ends(self, rows):
+        by_mem: dict = {}
+        for row in rows:
+            by_mem.setdefault(row["memory_mb"], {})[row["algorithm"]] = row
+        for algos in by_mem.values():
+            best = min(r["makespan_s"] for r in algos.values())
+            assert algos["HoLM"]["makespan_s"] <= best * 1.08
+
+
+class TestLU:
+    def test_cost_rows_consistent(self):
+        for row in lu.run_costs(mu=8, r_values=(16, 64)):
+            assert row["comm_exact"] - row["comm_paper"] == pytest.approx(
+                row["comm_panel_terms"]
+            )
+            assert row["comp_exact"] == pytest.approx(row["comp_paper"])
+
+    def test_homogeneous_rows(self):
+        rows = lu.run_homogeneous(r=196, p=8)
+        assert all(r["P=ceil(mu*w/3c)"] >= 1 for r in rows)
+        assert all(r["makespan_est_s"] > 0 for r in rows)
+
+    def test_hetero_policy_rows(self):
+        rows = lu.run_hetero_policies(r=36)
+        assert len(rows) == 3
+        assert all(r["policy"] in ("square", "columns", "virtual") for r in rows)
+
+
+class TestHetero:
+    def test_sweep_runs_and_is_monotone_in_bound(self):
+        rows = hetero.run(degrees=(0.0, 1.0), p=3)
+        assert len(rows) == 4
+        for row in rows:
+            assert row["makespan"] > 0
+            assert 1 <= row["workers"] <= 3
+
+    def test_degree_zero_is_homogeneous(self):
+        plat = hetero.heterogeneous_family(4, 0.0)
+        assert plat.is_homogeneous
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ValueError):
+            hetero.heterogeneous_family(2, -0.5)
+
+
+class TestAblations:
+    def test_two_port_never_slower(self):
+        rows = ablations.run_ports(scale=8)
+        one, two = rows
+        assert two["makespan_s"] <= one["makespan_s"] + 1e-9
+
+    def test_overlap_helps_with_ample_memory(self):
+        rows = ablations.run_overlap(memories=(360,))
+        assert rows[0]["overlap_gain_pct"] > 0
+
+    def test_startup_overhead_below_paper_bound(self):
+        for row in ablations.run_startup(t_values=(25, 100)):
+            assert row["c_io_fraction"] <= row["paper_bound"]
+
+    def test_lookahead_monotone_here(self):
+        rows = ablations.run_lookahead(depths=(1, 2))
+        assert rows[1]["ratio"] >= rows[0]["ratio"]
+
+
+class TestRegistry:
+    def test_all_experiments_have_main(self):
+        for name, module in ALL_EXPERIMENTS.items():
+            assert callable(getattr(module, "main", None)), name

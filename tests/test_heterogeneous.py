@@ -1,0 +1,224 @@
+"""Tests for Section 6 — steady state and incremental selection."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heterogeneous import (
+    bandwidth_centric_steady_state,
+    chunk_sizes,
+    global_selection,
+    local_selection,
+    lookahead_selection,
+    simulate_bandwidth_centric_feasibility,
+    steady_state_linprog,
+)
+from repro.platform import Platform, table1_platform, table2_platform
+
+BIG = (10**6, 10**7, 10**6)  # (r, s, t) horizon for asymptotic ratios
+
+
+@st.composite
+def small_platforms(draw):
+    p = draw(st.integers(1, 5))
+    c = [draw(st.floats(0.5, 8.0)) for _ in range(p)]
+    w = [draw(st.floats(0.5, 8.0)) for _ in range(p)]
+    m = [draw(st.integers(5, 400)) for _ in range(p)]
+    return Platform.heterogeneous(c, w, m)
+
+
+class TestSteadyState:
+    def test_table2_throughput_is_25_over_18(self):
+        ss = bandwidth_centric_steady_state(table2_platform())
+        assert ss.throughput == pytest.approx(25.0 / 18.0)
+
+    def test_table2_enrolls_everyone_p3_partially(self):
+        ss = bandwidth_centric_steady_state(table2_platform())
+        assert ss.enrolled == (1, 2, 3)
+        assert ss.saturated_worker == 3
+        assert ss.x[0] == pytest.approx(0.5)  # 1/w1
+        assert ss.x[1] == pytest.approx(1.0 / 3.0)
+        assert ss.x[2] == pytest.approx(5.0 / 9.0)  # bandwidth-limited
+
+    def test_port_constraint_tight_when_saturated(self):
+        plat = table2_platform()
+        ss = bandwidth_centric_steady_state(plat)
+        assert ss.port_utilisation(plat) == pytest.approx(1.0)
+
+    def test_table1_enrolls_both_fully(self):
+        ss = bandwidth_centric_steady_state(table1_platform())
+        # 2c/(mu w) = 1/2 each: both fit exactly.
+        assert ss.throughput == pytest.approx(0.5 + 0.025)
+        assert ss.enrolled == (1, 2)
+
+    @given(small_platforms())
+    @settings(max_examples=60, deadline=None)
+    def test_closed_form_matches_linprog(self, platform):
+        greedy = bandwidth_centric_steady_state(platform)
+        lp = steady_state_linprog(platform)
+        assert greedy.throughput == pytest.approx(lp.throughput, rel=1e-6)
+
+    @given(small_platforms())
+    @settings(max_examples=60, deadline=None)
+    def test_constraints_respected(self, platform):
+        ss = bandwidth_centric_steady_state(platform)
+        for xi, wk in zip(ss.x, platform.workers):
+            assert xi <= 1.0 / wk.w + 1e-9
+            assert xi >= 0.0
+        assert ss.port_utilisation(platform) <= 1.0 + 1e-9
+
+    def test_mu_length_validated(self):
+        with pytest.raises(ValueError):
+            bandwidth_centric_steady_state(table2_platform(), mu=[1, 2])
+
+
+class TestFeasibility:
+    def test_table1_p1_infeasible(self):
+        """The Table 1 phenomenon: P1 cannot buffer enough."""
+        rows = simulate_bandwidth_centric_feasibility(table1_platform())
+        p1, p2 = rows
+        assert not p1.feasible
+        assert p2.feasible
+        # P1 must cover the 80s service of P2's chunk: 2*80/(2*2) = 40.
+        assert p1.needed_blocks == pytest.approx(40.0)
+        assert p1.available_blocks == 8  # m=12, mu^2=4
+
+    def test_unenrolled_workers_trivially_feasible(self):
+        plat = Platform.heterogeneous(
+            [1.0, 100.0], [1.0, 100.0], [60, 60]
+        )
+        rows = simulate_bandwidth_centric_feasibility(plat)
+        slow = rows[1]
+        if slow.needed_blocks == 0:
+            assert slow.feasible
+
+
+class TestGlobalSelection:
+    def test_first_selection_is_p2(self):
+        """Worked example: ratios 1.5 / 3 / 1 -> select P2 first."""
+        sel = global_selection(table2_platform(), *BIG, max_steps=1)
+        assert sel.sequence[0] == 2
+
+    def test_paper_walkthrough_first_three(self):
+        sel = global_selection(table2_platform(), *BIG, max_steps=3)
+        assert sel.sequence == (2, 1, 3)
+
+    def test_thirteen_step_cycle_then_p2(self):
+        """Figure 7: 13 communications (P2 then 12 alternating P1/P3),
+        and the 14th goes to P2 again."""
+        sel = global_selection(table2_platform(), *BIG, max_steps=14)
+        assert sel.sequence[0] == 2
+        assert sel.sequence[1:13] == (1, 3) * 6
+        assert sel.sequence[13] == 2
+
+    def test_asymptotic_ratio_1_17(self):
+        sel = global_selection(table2_platform(), *BIG, max_steps=2000)
+        assert sel.ratio == pytest.approx(1.17, abs=0.01)
+
+    def test_walkthrough_timings(self):
+        """Step-by-step variables of the Section 6.2.1 example."""
+        sel = global_selection(table2_platform(), *BIG, max_steps=2)
+        # First comm to P2: [0, 108]; compute [108, 1080].
+        assert sel.comm_intervals[0] == (2, 0.0, 108.0)
+        assert sel.compute_intervals[0] == (2, 108.0, 1080.0)
+        # Second comm to P1: [108, 132]; compute [132, 204].
+        assert sel.comm_intervals[1] == (1, 108.0, 132.0)
+        assert sel.compute_intervals[1] == (1, 132.0, 204.0)
+
+    def test_ratio_below_steady_state_bound(self):
+        plat = table2_platform()
+        sel = global_selection(plat, *BIG, max_steps=1500)
+        bound = bandwidth_centric_steady_state(plat).throughput
+        assert sel.ratio <= bound + 1e-9
+
+    def test_terminates_on_small_problem(self):
+        plat = table2_platform()
+        sel = global_selection(plat, r=20, s=40, t=3)
+        assert sum(sel.columns_per_worker) >= 40
+
+    def test_chunks_counted(self):
+        sel = global_selection(table2_platform(), *BIG, max_steps=100)
+        assert sum(sel.chunks_per_worker) == 100
+        assert len(sel.sequence) == 100
+
+
+class TestLocalSelection:
+    def test_same_first_13_decisions_as_global(self):
+        plat = table2_platform()
+        g = global_selection(plat, *BIG, max_steps=13)
+        l = local_selection(plat, *BIG, max_steps=13)
+        assert g.sequence == l.sequence
+
+    def test_divergence_at_14th(self):
+        """Paper: global picks P2 for the 14th, local picks P1 then P2."""
+        plat = table2_platform()
+        g = global_selection(plat, *BIG, max_steps=15)
+        l = local_selection(plat, *BIG, max_steps=15)
+        assert g.sequence[13] == 2
+        assert l.sequence[13] == 1
+        assert l.sequence[14] == 2
+
+    def test_asymptotic_ratio_1_21(self):
+        sel = local_selection(table2_platform(), *BIG, max_steps=2000)
+        assert sel.ratio == pytest.approx(1.21, abs=0.01)
+
+
+class TestLookahead:
+    def test_depth2_ratio_1_30(self):
+        sel = lookahead_selection(
+            table2_platform(), *BIG, depth=2, max_steps=1200
+        )
+        assert sel.ratio == pytest.approx(1.30, abs=0.015)
+
+    def test_depth1_equals_global(self):
+        plat = table2_platform()
+        g = global_selection(plat, *BIG, max_steps=60)
+        la = lookahead_selection(plat, *BIG, depth=1, max_steps=60)
+        assert g.sequence == la.sequence
+
+    def test_deeper_is_at_least_as_good_here(self):
+        plat = table2_platform()
+        r1 = lookahead_selection(plat, *BIG, depth=1, max_steps=600).ratio
+        r2 = lookahead_selection(plat, *BIG, depth=2, max_steps=600).ratio
+        assert r2 >= r1 - 1e-6
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            lookahead_selection(table2_platform(), 10, 10, 10, depth=0)
+
+    def test_invalid_commit(self):
+        with pytest.raises(ValueError):
+            lookahead_selection(table2_platform(), 10, 10, 10, depth=2, commit=3)
+
+
+class TestSelectionInvariants:
+    @given(small_platforms())
+    @settings(max_examples=30, deadline=None)
+    def test_comm_intervals_never_overlap(self, platform):
+        sel = global_selection(platform, 1000, 10000, 1000, max_steps=60)
+        ordered = sorted(sel.comm_intervals, key=lambda iv: iv[1])
+        for (w1, s1, e1), (w2, s2, e2) in zip(ordered, ordered[1:]):
+            assert s2 >= e1 - 1e-9
+
+    @given(small_platforms())
+    @settings(max_examples=30, deadline=None)
+    def test_compute_follows_delivery(self, platform):
+        sel = local_selection(platform, 1000, 10000, 1000, max_steps=60)
+        for (cw, cs, ce), (kw, ks, ke) in zip(
+            sel.comm_intervals, sel.compute_intervals
+        ):
+            assert cw == kw
+            assert ks >= ce - 1e-9
+
+    @given(small_platforms())
+    @settings(max_examples=30, deadline=None)
+    def test_ratio_bounded_by_steady_state(self, platform):
+        """Paper: 'the steady-state solution can be seen as an upper
+        bound of the performance that can be achieved'."""
+        sel = global_selection(platform, 10**5, 10**6, 10**5, max_steps=400)
+        bound = bandwidth_centric_steady_state(platform).throughput
+        # The ratio's denominator is the *last communication* end, which
+        # excludes the final chunk's compute: allow the O(1/steps) tail.
+        assert sel.ratio <= bound * (1 + 2.0 / 400) + 1e-9

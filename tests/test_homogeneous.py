@@ -1,0 +1,140 @@
+"""Tests for Section 5 resource selection (repro.core.homogeneous)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocks import ProblemShape
+from repro.core.homogeneous import (
+    optimal_worker_count,
+    plan_homogeneous,
+    small_matrix_nu,
+    startup_overhead_fraction,
+)
+from repro.core.layout import mu_overlap
+from repro.platform import Platform, ut_cluster_platform
+
+
+class TestWorkerCount:
+    def test_formula(self):
+        # P = ceil(mu*w / 2c)
+        assert optimal_worker_count(mu=4, c=2.0, w=4.5, p=100) == 5
+
+    def test_clipped_by_p(self):
+        assert optimal_worker_count(mu=4, c=2.0, w=4.5, p=3) == 3
+
+    def test_ut_cluster_enrolls_four(self):
+        """The paper: 'HoLM uses four workers' on the UT cluster."""
+        plat = ut_cluster_platform(p=8)
+        wk = plat.workers[0]
+        mu = mu_overlap(wk.m)
+        assert optimal_worker_count(mu, wk.c, wk.w, 8) == 4
+
+    def test_ut_cluster_low_memory_enrolls_two(self):
+        """Figure 13: 'HoLM will use respectively two and four workers'."""
+        plat = ut_cluster_platform(p=8, memory_mb=132)
+        wk = plat.workers[0]
+        mu = mu_overlap(wk.m)
+        assert optimal_worker_count(mu, wk.c, wk.w, 8) == 2
+
+    @given(
+        mu=st.integers(1, 200),
+        c=st.floats(0.001, 10),
+        w=st.floats(0.001, 10),
+        p=st.integers(1, 64),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_count_saturates_port(self, mu, c, w, p):
+        """P is the smallest count with 2*mu*t*c*P >= mu^2*t*w."""
+        count = optimal_worker_count(mu, c, w, p)
+        unclipped = math.ceil(mu * w / (2 * c))
+        assert count == min(p, unclipped)
+        assert 2 * mu * c * unclipped >= mu * mu * w - 1e-9
+        if unclipped > 1:
+            assert 2 * mu * c * (unclipped - 1) < mu * mu * w + 1e-9
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            optimal_worker_count(0, 1, 1, 1)
+        with pytest.raises(ValueError):
+            optimal_worker_count(1, 0, 1, 1)
+        with pytest.raises(ValueError):
+            optimal_worker_count(1, 1, 1, 0)
+
+
+class TestSmallMatrix:
+    def test_nu_shrinks_for_tiny_c(self):
+        nu, q = small_matrix_nu(r=2, s=2, c=1.0, w=1.0, mu=10, p=8)
+        assert nu <= 2
+        assert q >= 1
+
+    def test_nu_keeps_mu_when_large(self):
+        nu, _ = small_matrix_nu(r=100, s=100, c=1.0, w=1.0, mu=10, p=8)
+        assert nu == 10
+
+    @given(
+        r=st.integers(1, 40),
+        s=st.integers(1, 40),
+        mu=st.integers(1, 20),
+        c=st.floats(0.1, 5),
+        w=st.floats(0.1, 5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_nu_constraint_holds(self, r, s, mu, c, w):
+        nu, _ = small_matrix_nu(r, s, c, w, mu, p=16)
+        if nu > 1:
+            assert math.ceil(nu * w / (2 * c)) * nu * nu <= r * s
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            small_matrix_nu(0, 1, 1, 1, 1, 1)
+
+
+class TestPlan:
+    def test_large_matrix_plan(self):
+        plat = ut_cluster_platform(p=8)
+        shape = ProblemShape.from_elements(8000, 8000, 64000, q=80)
+        plan = plan_homogeneous(plat, shape)
+        assert plan.workers == 4
+        assert plan.mu == 98
+        assert not plan.small_matrix
+
+    def test_small_matrix_triggers_nu(self):
+        plat = Platform.homogeneous(8, c=0.1, w=1.0, m=10000)
+        shape = ProblemShape(r=4, s=4, t=10, q=80)
+        plan = plan_homogeneous(plat, shape)
+        assert plan.small_matrix
+        assert plan.mu <= 4
+
+    def test_saturated_flag(self):
+        # Huge mu*w/2c forces more workers than exist.
+        plat = Platform.homogeneous(2, c=0.001, w=10.0, m=10000)
+        shape = ProblemShape(r=500, s=500, t=10, q=80)
+        plan = plan_homogeneous(plat, shape)
+        assert plan.saturated
+        assert plan.workers == 2
+
+    def test_nearly_homogeneous_uses_conservative_params(self):
+        plat = Platform.heterogeneous(
+            [1.0, 1.01], [1.0, 1.02], [100, 99]
+        )
+        shape = ProblemShape(r=100, s=100, t=10, q=80)
+        plan = plan_homogeneous(plat, shape)
+        assert plan.mu == mu_overlap(99)
+
+
+class TestStartupOverhead:
+    def test_paper_example_is_about_four_percent(self):
+        """'with c = 2, w = 4.5, µ = 4 and t = 100 ... at most 4%'."""
+        bound = startup_overhead_fraction(mu=4, t=100, c=2.0, w=4.5)
+        assert bound == pytest.approx(4 / 100 + 4 / 450)
+        assert bound < 0.05
+
+    def test_vanishes_with_t(self):
+        assert startup_overhead_fraction(4, 10**6, 2.0, 4.5) < 1e-4
+
+    def test_invalid_t(self):
+        with pytest.raises(ValueError):
+            startup_overhead_fraction(4, 0, 1.0, 1.0)

@@ -1,0 +1,192 @@
+"""Tests for memory layouts and the Section 4 CCR bounds."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    ccr_lower_bound_irony_toledo_tiskin,
+    ccr_lower_bound_loomis_whitney,
+    ccr_lower_bound_toledo_refined,
+    ccr_max_reuse,
+    ccr_max_reuse_asymptotic,
+    hong_kung_bound,
+    loomis_whitney_bound,
+    solve_k_bound,
+)
+from repro.core.layout import (
+    MemoryLayout,
+    max_reuse_mu,
+    mu_no_overlap,
+    mu_overlap,
+    overlapped_toledo_split,
+    toledo_split,
+)
+
+
+class TestLayoutFormulas:
+    def test_paper_example_m21(self):
+        # Figure 5: m = 21 gives mu = 4.
+        assert max_reuse_mu(21) == 4
+
+    def test_small_values(self):
+        assert max_reuse_mu(3) == 1
+        assert mu_overlap(5) == 1
+        assert mu_no_overlap(3) == 1
+
+    @given(m=st.integers(3, 100000))
+    @settings(max_examples=200, deadline=None)
+    def test_max_reuse_mu_is_maximal(self, m):
+        mu = max_reuse_mu(m)
+        assert 1 + mu + mu * mu <= m
+        assert 1 + (mu + 1) + (mu + 1) ** 2 > m
+
+    @given(m=st.integers(5, 100000))
+    @settings(max_examples=200, deadline=None)
+    def test_mu_overlap_is_maximal(self, m):
+        mu = mu_overlap(m)
+        assert mu * mu + 4 * mu <= m
+        assert (mu + 1) ** 2 + 4 * (mu + 1) > m
+
+    @given(m=st.integers(3, 100000))
+    @settings(max_examples=200, deadline=None)
+    def test_mu_no_overlap_is_maximal(self, m):
+        mu = mu_no_overlap(m)
+        assert mu * mu + 2 * mu <= m
+        assert (mu + 1) ** 2 + 2 * (mu + 1) > m
+
+    @given(m=st.integers(5, 100000))
+    @settings(max_examples=100, deadline=None)
+    def test_layout_ordering(self, m):
+        """More buffer overhead => smaller tile."""
+        assert mu_overlap(m) <= mu_no_overlap(m)
+        assert overlapped_toledo_split(m) <= toledo_split(m)
+
+    def test_toledo_split_thirds(self):
+        # m=10000: each third is 3333 blocks; side 57.
+        assert toledo_split(10000) == 57
+        assert overlapped_toledo_split(10000) == 44
+
+    def test_too_small_memory_raises(self):
+        with pytest.raises((ValueError, TypeError)):
+            max_reuse_mu(2)
+        with pytest.raises(ValueError):
+            mu_overlap(4)
+        with pytest.raises(ValueError):
+            toledo_split(2)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            max_reuse_mu(21.5)
+
+
+class TestMemoryLayoutObjects:
+    def test_max_reuse_layout(self):
+        lay = MemoryLayout.max_reuse(21)
+        assert (lay.a_buffers, lay.b_buffers, lay.c_buffers) == (1, 4, 16)
+        assert lay.total == 21
+        assert lay.fits(21)
+        assert not lay.fits(20)
+
+    def test_overlapped_layout(self):
+        lay = MemoryLayout.overlapped(45)  # mu=5: 25 + 20 = 45
+        assert lay.mu == 5
+        assert lay.total == 45
+        assert lay.overlap
+
+    def test_single_generation_layout(self):
+        lay = MemoryLayout.single_generation(24)  # mu=4: 16+8
+        assert lay.mu == 4
+        assert not lay.overlap
+        assert lay.total == 24
+
+
+class TestBounds:
+    def test_hong_kung_symmetry(self):
+        assert hong_kung_bound(4, 4, 4) == pytest.approx(16.0)
+
+    def test_loomis_whitney_value(self):
+        assert loomis_whitney_bound(4, 9, 16) == pytest.approx(24.0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            hong_kung_bound(-1, 1, 1)
+        with pytest.raises(ValueError):
+            loomis_whitney_bound(1, -1, 1)
+
+    @given(
+        na=st.floats(0.1, 100),
+        nb=st.floats(0.1, 100),
+        nc=st.floats(0.1, 100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_loomis_whitney_tighter_or_equal(self, na, nb, nc):
+        """LW is at most a constant above HK; at the balanced point it is
+        strictly tighter (sqrt(abc) <= min((a+b)sqrt(c), ...))/2 ... the
+        relation the paper exploits is LW <= HK."""
+        assert loomis_whitney_bound(na, nb, nc) <= hong_kung_bound(na, nb, nc) + 1e-9
+
+    def test_ccr_formula_values(self):
+        # m=21, mu=4, t=4: 2/4 + 2/4 = 1.
+        assert ccr_max_reuse(21, 4) == pytest.approx(1.0)
+        assert ccr_max_reuse_asymptotic(21) == pytest.approx(0.5)
+
+    def test_lower_bound_closed_forms(self):
+        m = 100
+        assert ccr_lower_bound_loomis_whitney(m) == pytest.approx(math.sqrt(27 / 800))
+        assert ccr_lower_bound_toledo_refined(m) == pytest.approx(math.sqrt(27 / 3200))
+        assert ccr_lower_bound_irony_toledo_tiskin(m) == pytest.approx(
+            math.sqrt(1 / 800)
+        )
+
+    def test_bound_improvement_factor(self):
+        """The paper's new bound improves the previous best by sqrt(27)."""
+        m = 1234
+        ratio = ccr_lower_bound_loomis_whitney(m) / ccr_lower_bound_irony_toledo_tiskin(m)
+        assert ratio == pytest.approx(math.sqrt(27.0))
+
+    @given(m=st.integers(3, 10**6))
+    @settings(max_examples=200, deadline=None)
+    def test_achieved_ccr_above_lower_bound(self, m):
+        """Soundness: max-re-use never beats the lower bound."""
+        assert ccr_max_reuse_asymptotic(m) >= ccr_lower_bound_loomis_whitney(m)
+
+    def test_gap_approaches_sqrt_32_27(self):
+        m = 10**8
+        gap = ccr_max_reuse_asymptotic(m) / ccr_lower_bound_loomis_whitney(m)
+        assert gap == pytest.approx(math.sqrt(32.0 / 27.0), rel=1e-3)
+
+    @given(t=st.integers(1, 10**6), m=st.integers(3, 10**6))
+    @settings(max_examples=100, deadline=None)
+    def test_finite_t_ccr_decreasing_in_t(self, t, m):
+        assert ccr_max_reuse(m, t) >= ccr_max_reuse_asymptotic(m)
+
+
+class TestKBoundOptimisation:
+    def test_closed_forms(self):
+        k_hk, point = solve_k_bound("hong-kung")
+        assert k_hk == pytest.approx(math.sqrt(32 / 27))
+        assert point == (2 / 3, 2 / 3, 2 / 3)
+        k_lw, _ = solve_k_bound("loomis-whitney")
+        assert k_lw == pytest.approx(math.sqrt(8 / 27))
+
+    def test_numeric_matches_closed_form_lw(self):
+        k_num, point = solve_k_bound("loomis-whitney", method="numeric")
+        k_cf, _ = solve_k_bound("loomis-whitney")
+        assert k_num == pytest.approx(k_cf, rel=1e-4)
+        assert sum(point) == pytest.approx(2.0, rel=1e-3)
+
+    def test_numeric_matches_closed_form_hk(self):
+        k_num, _ = solve_k_bound("hong-kung", method="numeric")
+        k_cf, _ = solve_k_bound("hong-kung")
+        assert k_num == pytest.approx(k_cf, rel=1e-4)
+
+    def test_unknown_lemma_rejected(self):
+        with pytest.raises(ValueError):
+            solve_k_bound("strassen")
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            solve_k_bound("hong-kung", method="magic")

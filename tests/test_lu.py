@@ -1,0 +1,226 @@
+"""Tests for the LU extension (repro.lu)."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lu import (
+    best_pivot_size,
+    block_lu,
+    chunk_policy,
+    lu_communication_paper_closed_form,
+    lu_computation_closed_form,
+    lu_makespan_estimate,
+    lu_step_cost,
+    lu_total_cost,
+    lu_worker_count,
+    verify_lu,
+)
+from repro.lu.heterogeneous import virtual_processors
+from repro.lu.numeric import unpack_lu
+from repro.platform import table2_platform, ut_cluster_platform
+
+
+class TestStepCosts:
+    def test_last_step_is_pivot_only(self):
+        st_ = lu_step_cost(20, 5, 4)
+        assert st_.comm_total == 2 * 25
+        assert st_.comp_total == 125
+
+    def test_first_step_dominates(self):
+        first = lu_step_cost(20, 5, 1)
+        last = lu_step_cost(20, 5, 4)
+        assert first.comm_total > last.comm_total
+        assert first.comp_total > last.comp_total
+
+    def test_step_bounds_checked(self):
+        with pytest.raises(ValueError):
+            lu_step_cost(20, 5, 0)
+        with pytest.raises(ValueError):
+            lu_step_cost(20, 5, 5)
+
+    def test_divisibility_required(self):
+        with pytest.raises(ValueError):
+            lu_step_cost(21, 5, 1)
+
+    @given(n=st.integers(1, 12), mu=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_computation_matches_paper_closed_form(self, n, mu):
+        """The paper's computation total (r^3 + 2mu^2 r)w/3 is exact."""
+        r = n * mu
+        _, comp = lu_total_cost(r, mu)
+        assert comp == pytest.approx(lu_computation_closed_form(r, mu))
+
+    @given(n=st.integers(1, 12), mu=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_communication_exact_sum_is_r3_over_mu_plus_r2(self, n, mu):
+        """Summing the paper's own step costs gives r^3/mu + r^2 —
+        the printed closed form under-counts the panel terms."""
+        r = n * mu
+        comm, _ = lu_total_cost(r, mu)
+        assert comm == pytest.approx(r**3 / mu + r**2)
+        paper = lu_communication_paper_closed_form(r, mu)
+        assert comm - paper == pytest.approx(2.0 * r * (r - mu))
+
+
+class TestHomogeneous:
+    def test_worker_count_formula(self):
+        assert lu_worker_count(mu=12, c=1.0, w=1.0, p=16) == 4
+        assert lu_worker_count(mu=12, c=1.0, w=1.0, p=3) == 3
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            lu_worker_count(0, 1, 1, 1)
+        with pytest.raises(ValueError):
+            lu_worker_count(1, -1, 1, 1)
+        with pytest.raises(ValueError):
+            lu_worker_count(1, 1, 1, 0)
+
+    def test_lu_uses_fewer_workers_than_matmul_rule(self):
+        """ceil(mu w/3c) <= ceil(mu w/2c): LU's core update ships three
+        blocks per mu updates instead of two."""
+        import math
+
+        for mu, c, w in [(10, 1.0, 1.0), (98, 0.004096, 0.000293)]:
+            assert lu_worker_count(mu, c, w, 100) <= math.ceil(mu * w / (2 * c))
+
+    def test_makespan_estimate_decreases_with_workers(self):
+        t1 = lu_makespan_estimate(40, 10, c=0.01, w=1.0, p=1)
+        t4 = lu_makespan_estimate(40, 10, c=0.01, w=1.0, p=4)
+        assert t4 < t1
+
+    def test_makespan_estimate_positive(self):
+        plat = ut_cluster_platform(p=8)
+        wk = plat.workers[0]
+        assert lu_makespan_estimate(196, 49, wk.c, wk.w, 8) > 0
+
+
+class TestChunkPolicies:
+    def test_square_when_small(self):
+        pol = chunk_policy(mu_i=3, mu=10, c=1.0, w=1.0)
+        assert pol.shape == "square"
+
+    def test_columns_when_large_fraction(self):
+        pol = chunk_policy(mu_i=8, mu=10, c=1.0, w=1.0)
+        assert pol.shape == "columns"
+
+    def test_threshold_at_half(self):
+        """Square chunk iff mu_i <= mu/2 (the paper's inequality)."""
+        assert chunk_policy(5, 10, 1, 1).shape == "square"
+        assert chunk_policy(6, 10, 1, 1).shape == "columns"
+
+    def test_ratio_formulas(self):
+        c, w = 2.0, 3.0
+        sq = chunk_policy(4, 10, c, w)
+        assert sq.ratio == pytest.approx(4 * w / (3 * c))
+        col = chunk_policy(9, 10, c, w)
+        assert col.ratio == pytest.approx(81 * w / ((10 + 2 * 8.1) * c))
+
+    def test_policy_picks_better_ratio(self):
+        """Whatever shape is chosen must have the larger ratio."""
+        for mu_i in range(1, 10):
+            c, w = 1.7, 0.9
+            pol = chunk_policy(mu_i, 10, c, w)
+            square = mu_i * w / (3 * c)
+            columns = mu_i**2 * w / ((10 + 2 * mu_i**2 / 10) * c)
+            assert pol.ratio == pytest.approx(max(square, columns), rel=1e-9)
+
+    def test_virtual_processors(self):
+        assert virtual_processors(20, 10) == 4
+        assert virtual_processors(10, 10) == 1
+        assert virtual_processors(3, 10) == 1
+        pol = chunk_policy(25, 10, 1.0, 1.0)
+        assert pol.shape == "virtual"
+        assert pol.virtual_count == 6
+
+    def test_invalid_mu(self):
+        with pytest.raises(ValueError):
+            chunk_policy(0, 10, 1, 1)
+
+
+class TestPivotSearch:
+    def test_best_pivot_divides_r(self):
+        mu, est = best_pivot_size(table2_platform(), r=36)
+        assert 36 % mu == 0
+        assert est > 0
+
+    def test_candidates_respected(self):
+        mu, _ = best_pivot_size(table2_platform(), r=36, candidates=[4, 12])
+        assert mu in (4, 12)
+
+    def test_no_candidates_raises(self):
+        with pytest.raises(ValueError):
+            best_pivot_size(table2_platform(), r=36, candidates=[7])  # 7 ∤ 36
+
+    def test_invalid_r(self):
+        with pytest.raises(ValueError):
+            best_pivot_size(table2_platform(), r=0)
+
+
+class TestNumericLU:
+    @staticmethod
+    def _dominant(n, seed):
+        rng = np.random.default_rng(seed)
+        return rng.uniform(-1, 1, (n, n)) + n * np.eye(n)
+
+    def test_factors_reproduce_matrix(self):
+        a = self._dominant(64, 0)
+        packed = block_lu(a.copy(), panel=16)
+        assert verify_lu(a, packed)
+
+    def test_matches_scipy_without_pivoting(self):
+        """On a diagonally dominant matrix scipy's LU permutation is
+        identity, so the factors must agree."""
+        a = self._dominant(32, 1)
+        packed = block_lu(a.copy(), panel=8)
+        lower, upper = unpack_lu(packed)
+        p, l_ref, u_ref = scipy.linalg.lu(a)
+        assert np.allclose(p, np.eye(32))
+        assert np.allclose(lower, l_ref, atol=1e-8)
+        assert np.allclose(upper, u_ref, atol=1e-8)
+
+    def test_panel_equal_to_n(self):
+        a = self._dominant(24, 2)
+        assert verify_lu(a, block_lu(a.copy(), panel=24))
+
+    def test_panel_one(self):
+        a = self._dominant(12, 3)
+        assert verify_lu(a, block_lu(a.copy(), panel=1))
+
+    def test_ragged_panel(self):
+        a = self._dominant(30, 4)
+        assert verify_lu(a, block_lu(a.copy(), panel=8))  # 8 ∤ 30
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            block_lu(np.zeros((3, 4)), panel=2)
+
+    def test_invalid_panel(self):
+        with pytest.raises(ValueError):
+            block_lu(np.eye(4), panel=0)
+
+    def test_zero_pivot_detected(self):
+        with pytest.raises(ZeroDivisionError):
+            block_lu(np.zeros((4, 4)), panel=2)
+
+    @given(
+        n_panels=st.integers(1, 4),
+        panel=st.integers(1, 8),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_block_lu_property(self, n_panels, panel, seed):
+        """Property: block LU with any panel width factors any
+        diagonally dominant matrix."""
+        n = n_panels * panel
+        a = self._dominant(n, seed)
+        assert verify_lu(a, block_lu(a.copy(), panel=panel))
+
+    def test_panel_width_independence(self):
+        """All panel widths produce the same factors (same arithmetic)."""
+        a = self._dominant(24, 5)
+        p1 = block_lu(a.copy(), panel=4)
+        p2 = block_lu(a.copy(), panel=12)
+        assert np.allclose(p1, p2, atol=1e-9)

@@ -1,0 +1,327 @@
+"""Tests for the discrete-event simulation kernel (repro.sim.core)."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+
+
+class TestEnvironmentBasics:
+    def test_clock_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_clock_custom_start(self):
+        assert Environment(5.0).now == 5.0
+
+    def test_timeout_advances_clock(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(3.5)
+
+        env.process(proc(env))
+        env.run()
+        assert env.now == 3.5
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1.0)
+
+    def test_run_until_time_stops_clock_there(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(10.0)
+
+        env.process(proc(env))
+        env.run(until=4.0)
+        assert env.now == 4.0
+
+    def test_run_until_past_raises(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(10.0)
+
+        env.process(proc(env))
+        env.run(until=8.0)
+        with pytest.raises(SimulationError):
+            env.run(until=2.0)
+
+    def test_peek_empty_is_inf(self):
+        assert Environment().peek() == float("inf")
+
+    def test_step_empty_raises(self):
+        with pytest.raises(SimulationError):
+            Environment().step()
+
+
+class TestProcesses:
+    def test_return_value_via_run_until(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1.0)
+            return 42
+
+        p = env.process(proc(env))
+        assert env.run(until=p) == 42
+
+    def test_process_is_event_with_value(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(2.0)
+            return "done"
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "done"
+        assert p.ok
+
+    def test_process_waits_for_process(self):
+        env = Environment()
+        order = []
+
+        def child(env):
+            yield env.timeout(2.0)
+            order.append("child")
+            return 7
+
+        def parent(env):
+            value = yield env.process(child(env))
+            order.append("parent")
+            return value + 1
+
+        p = env.process(parent(env))
+        env.run()
+        assert order == ["child", "parent"]
+        assert p.value == 8
+
+    def test_sequential_timeouts_accumulate(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1.0)
+            yield env.timeout(2.0)
+            yield env.timeout(3.0)
+
+        env.process(proc(env))
+        env.run()
+        assert env.now == 6.0
+
+    def test_exception_in_process_propagates_to_waiter(self):
+        env = Environment()
+
+        def bad(env):
+            yield env.timeout(1.0)
+            raise ValueError("boom")
+
+        def waiter(env):
+            with pytest.raises(ValueError, match="boom"):
+                yield env.process(bad(env))
+            return "caught"
+
+        p = env.process(waiter(env))
+        env.run()
+        assert p.value == "caught"
+
+    def test_unhandled_process_exception_surfaces(self):
+        env = Environment()
+
+        def bad(env):
+            yield env.timeout(1.0)
+            raise RuntimeError("unseen")
+
+        env.process(bad(env))
+        with pytest.raises(RuntimeError, match="unseen"):
+            env.run()
+
+    def test_yielding_non_event_fails_process(self):
+        env = Environment()
+
+        def bad(env):
+            yield 42
+
+        env.process(bad(env))
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_non_generator_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)
+
+    def test_is_alive_lifecycle(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1.0)
+
+        p = env.process(proc(env))
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+
+class TestDeterminism:
+    def test_same_time_events_fire_in_scheduling_order(self):
+        env = Environment()
+        order = []
+
+        def make(tag):
+            def proc(env):
+                yield env.timeout(1.0)
+                order.append(tag)
+
+            return proc
+
+        for tag in "abcde":
+            env.process(make(tag)(env))
+        env.run()
+        assert order == list("abcde")
+
+    def test_two_runs_identical(self):
+        def build():
+            env = Environment()
+            log = []
+
+            def worker(env, tag, delay):
+                yield env.timeout(delay)
+                log.append((env.now, tag))
+                yield env.timeout(delay)
+                log.append((env.now, tag))
+
+            for i, d in enumerate([1.0, 1.0, 0.5, 2.0]):
+                env.process(worker(env, i, d))
+            env.run()
+            return log
+
+        assert build() == build()
+
+
+class TestEvents:
+    def test_manual_succeed(self):
+        env = Environment()
+        ev = env.event()
+
+        def trigger(env):
+            yield env.timeout(2.0)
+            ev.succeed("payload")
+
+        def waiter(env):
+            value = yield ev
+            return (env.now, value)
+
+        env.process(trigger(env))
+        p = env.process(waiter(env))
+        env.run()
+        assert p.value == (2.0, "payload")
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_needs_exception(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_value_before_trigger_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            _ = env.event().value
+
+    def test_all_of_collects_values(self):
+        env = Environment()
+
+        def proc(env, delay, val):
+            yield env.timeout(delay)
+            return val
+
+        ps = [env.process(proc(env, d, d * 10)) for d in (3.0, 1.0, 2.0)]
+
+        def waiter(env):
+            values = yield env.all_of(ps)
+            return (env.now, values)
+
+        w = env.process(waiter(env))
+        env.run()
+        assert w.value == (3.0, [30.0, 10.0, 20.0])
+
+    def test_all_of_empty_fires_immediately(self):
+        env = Environment()
+
+        def waiter(env):
+            yield env.all_of([])
+            return env.now
+
+        w = env.process(waiter(env))
+        env.run()
+        assert w.value == 0.0
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self):
+        env = Environment()
+
+        def victim(env):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as exc:
+                return ("interrupted", exc.cause, env.now)
+
+        def attacker(env, target):
+            yield env.timeout(5.0)
+            target.interrupt("stop")
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        env.run()
+        assert v.value == ("interrupted", "stop", 5.0)
+
+    def test_interrupt_dead_process_rejected(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(1.0)
+
+        def late(env, target):
+            yield env.timeout(5.0)
+            with pytest.raises(SimulationError):
+                target.interrupt()
+
+        q = env.process(quick(env))
+        env.process(late(env, q))
+        env.run()
+
+    def test_interrupted_process_can_continue(self):
+        env = Environment()
+
+        def victim(env):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt:
+                pass
+            yield env.timeout(1.0)
+            return env.now
+
+        def attacker(env, target):
+            yield env.timeout(2.0)
+            target.interrupt()
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        env.run()
+        assert v.value == 3.0

@@ -1,0 +1,201 @@
+"""Tests for Resource and Store (repro.sim.resources)."""
+
+import pytest
+
+from repro.sim import Environment, Resource, SimulationError, Store
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)
+
+    def test_exclusive_access_serializes(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+
+        def user(env, tag, hold):
+            with res.request() as req:
+                yield req
+                log.append((tag, "in", env.now))
+                yield env.timeout(hold)
+                log.append((tag, "out", env.now))
+
+        env.process(user(env, "a", 2.0))
+        env.process(user(env, "b", 3.0))
+        env.run()
+        assert log == [
+            ("a", "in", 0.0),
+            ("a", "out", 2.0),
+            ("b", "in", 2.0),
+            ("b", "out", 5.0),
+        ]
+
+    def test_fifo_ordering(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        grants = []
+
+        def user(env, tag):
+            with res.request() as req:
+                yield req
+                grants.append(tag)
+                yield env.timeout(1.0)
+
+        for tag in range(6):
+            env.process(user(env, tag))
+        env.run()
+        assert grants == list(range(6))
+
+    def test_capacity_two_allows_concurrency(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        active = []
+        peak = []
+
+        def user(env):
+            with res.request() as req:
+                yield req
+                active.append(1)
+                peak.append(len(active))
+                yield env.timeout(1.0)
+                active.pop()
+
+        for _ in range(5):
+            env.process(user(env))
+        env.run()
+        assert max(peak) == 2
+
+    def test_count_tracks_users(self):
+        env = Environment()
+        res = Resource(env, capacity=3)
+
+        def user(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(1.0)
+
+        for _ in range(2):
+            env.process(user(env))
+
+        def checker(env):
+            yield env.timeout(0.5)
+            return res.count
+
+        c = env.process(checker(env))
+        env.run()
+        assert c.value == 2
+
+    def test_busy_time_accumulates(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def user(env, hold):
+            with res.request() as req:
+                yield req
+                yield env.timeout(hold)
+
+        env.process(user(env, 2.0))
+        env.process(user(env, 3.0))
+        env.run()
+        assert res.busy_time == pytest.approx(5.0)
+
+    def test_release_never_granted_raises(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        req = res.request()
+        res.release(req)  # queued-then-cancelled is fine the first time
+        with pytest.raises(SimulationError):
+            res.release(req)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+
+        def producer(env):
+            yield store.put("x")
+
+        def consumer(env):
+            item = yield store.get()
+            return item
+
+        env.process(producer(env))
+        c = env.process(consumer(env))
+        env.run()
+        assert c.value == "x"
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+
+        def consumer(env):
+            item = yield store.get()
+            return (env.now, item)
+
+        def producer(env):
+            yield env.timeout(4.0)
+            yield store.put("late")
+
+        c = env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert c.value == (4.0, "late")
+
+    def test_fifo_item_order(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def producer(env):
+            for i in range(5):
+                yield store.put(i)
+
+        def consumer(env):
+            for _ in range(5):
+                got.append((yield store.get()))
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_bounded_capacity_blocks_put(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        times = []
+
+        def producer(env):
+            yield store.put("a")
+            times.append(("a", env.now))
+            yield store.put("b")
+            times.append(("b", env.now))
+
+        def consumer(env):
+            yield env.timeout(3.0)
+            yield store.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert times == [("a", 0.0), ("b", 3.0)]
+
+    def test_invalid_capacity(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Store(env, capacity=0)
+
+    def test_len_counts_items(self):
+        env = Environment()
+        store = Store(env)
+
+        def producer(env):
+            yield store.put(1)
+            yield store.put(2)
+
+        env.process(producer(env))
+        env.run()
+        assert len(store) == 2

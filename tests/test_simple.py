@@ -1,0 +1,217 @@
+"""Tests for the Section 3 simplified model and its algorithms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simple import (
+    Send,
+    SimpleInstance,
+    alternating_greedy,
+    alternating_sequence,
+    brute_force_best,
+    evaluate_schedule,
+    greedy_task_count,
+    min_min,
+    thrifty,
+)
+
+
+class TestModel:
+    def test_instance_validation(self):
+        with pytest.raises(ValueError):
+            SimpleInstance(r=0, s=1, p=1, c=1, w=1)
+        with pytest.raises(ValueError):
+            SimpleInstance(r=1, s=1, p=1, c=0, w=1)
+
+    def test_send_validation(self):
+        with pytest.raises(ValueError):
+            Send(1, "C", 1)
+        with pytest.raises(ValueError):
+            Send(0, "A", 1)
+
+    def test_single_worker_single_task(self):
+        inst = SimpleInstance(r=1, s=1, p=1, c=2.0, w=3.0)
+        res = evaluate_schedule(inst, [Send(1, "A", 1), Send(1, "B", 1)])
+        # Two sends (4.0), task starts at 4.0, done at 7.0.
+        assert res.makespan == 7.0
+        assert res.tasks_done == 1
+        assert res.comm_volume == 2
+
+    def test_tasks_claimed_at_file_arrival(self):
+        inst = SimpleInstance(r=2, s=1, p=1, c=1.0, w=1.0)
+        res = evaluate_schedule(
+            inst, [Send(1, "A", 1), Send(1, "A", 2), Send(1, "B", 1)]
+        )
+        # B1 arrives at t=3 enabling both tasks: 3+1+1 = 5.
+        assert res.makespan == 5.0
+        assert res.task_worker == {(1, 1): 1, (2, 1): 1}
+
+    def test_duplicate_file_rejected(self):
+        inst = SimpleInstance(r=1, s=1, p=1, c=1, w=1)
+        with pytest.raises(ValueError):
+            evaluate_schedule(inst, [Send(1, "A", 1), Send(1, "A", 1)])
+
+    def test_unknown_worker_rejected(self):
+        inst = SimpleInstance(r=1, s=1, p=1, c=1, w=1)
+        with pytest.raises(ValueError):
+            evaluate_schedule(inst, [Send(2, "A", 1)])
+
+    def test_incomplete_schedule_rejected(self):
+        inst = SimpleInstance(r=2, s=1, p=1, c=1, w=1)
+        with pytest.raises(ValueError):
+            evaluate_schedule(inst, [Send(1, "A", 1), Send(1, "B", 1)])
+
+    def test_incomplete_allowed_when_flagged(self):
+        inst = SimpleInstance(r=2, s=1, p=1, c=1, w=1)
+        res = evaluate_schedule(
+            inst, [Send(1, "A", 1), Send(1, "B", 1)], require_complete=False
+        )
+        assert res.tasks_done == 1
+
+    def test_index_bounds_checked(self):
+        inst = SimpleInstance(r=2, s=2, p=1, c=1, w=1)
+        with pytest.raises(ValueError):
+            evaluate_schedule(inst, [Send(1, "A", 3)])
+        with pytest.raises(ValueError):
+            evaluate_schedule(inst, [Send(1, "B", 3)])
+
+    def test_two_workers_parallel_compute(self):
+        inst = SimpleInstance(r=2, s=1, p=2, c=1.0, w=10.0)
+        sched = [
+            Send(1, "A", 1),
+            Send(1, "B", 1),  # task (1,1) on P1 at t=2
+            Send(2, "A", 2),
+            Send(2, "B", 1),  # task (2,1) on P2 at t=4
+        ]
+        res = evaluate_schedule(inst, sched)
+        assert res.makespan == 14.0  # P2 finishes at 4+10
+        assert res.finish_times == (12.0, 14.0)
+
+
+class TestGreedyTaskCount:
+    @given(x=st.integers(0, 30), r=st.integers(1, 12), s=st.integers(1, 12))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_exhaustive(self, x, r, s):
+        best = 0
+        for y in range(0, min(x, r) + 1):
+            z = min(x - y, s)
+            best = max(best, y * z)
+        assert greedy_task_count(x, r, s) == best
+
+    def test_alternation_formula_unclipped(self):
+        # ceil(x/2)*floor(x/2) when the grid is large enough.
+        assert greedy_task_count(5, 10, 10) == 6
+        assert greedy_task_count(6, 10, 10) == 9
+
+    def test_negative_x_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_task_count(-1, 2, 2)
+
+
+class TestAlternatingGreedy:
+    def test_sequence_covers_all_files(self):
+        seq = alternating_sequence(3, 2)
+        assert len(seq) == 5
+        assert {(s.kind, s.index) for s in seq} == {
+            ("A", 1), ("A", 2), ("A", 3), ("B", 1), ("B", 2),
+        }
+
+    def test_alternation_prefix_property(self):
+        """Proposition 1: after x sends, y = ceil(x/2), z = floor(x/2)
+        (up to exhaustion), maximizing enabled tasks at every prefix."""
+        r, s = 5, 5
+        seq = alternating_sequence(r, s)
+        for x in range(1, len(seq) + 1):
+            y = sum(1 for snd in seq[:x] if snd.kind == "A")
+            z = x - y
+            assert y * z == greedy_task_count(x, r, s)
+
+    def test_requires_single_worker(self):
+        with pytest.raises(ValueError):
+            alternating_greedy(SimpleInstance(r=2, s=2, p=2, c=1, w=1))
+
+    @given(
+        r=st.integers(1, 3),
+        s=st.integers(1, 3),
+        c=st.sampled_from([1.0, 2.0, 5.0]),
+        w=st.sampled_from([1.0, 3.0, 8.0]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_proposition1_optimal_single_worker(self, r, s, c, w):
+        """Alternating greedy matches the brute-force optimum (p=1)."""
+        inst = SimpleInstance(r=r, s=s, p=1, c=c, w=w)
+        alt = alternating_greedy(inst)
+        best = brute_force_best(inst)
+        assert alt.makespan == pytest.approx(best.makespan)
+
+
+class TestGreedyHeuristics:
+    def test_fig4a_minmin_wins(self):
+        inst = SimpleInstance(r=3, s=3, p=2, c=4.0, w=7.0)
+        assert min_min(inst).makespan < thrifty(inst).makespan
+
+    def test_fig4b_thrifty_wins(self):
+        inst = SimpleInstance(r=6, s=3, p=2, c=8.0, w=9.0)
+        assert thrifty(inst).makespan < min_min(inst).makespan
+
+    def test_neither_heuristic_is_optimal(self):
+        """Section 3's conclusion, certified against brute force on (a)."""
+        inst = SimpleInstance(r=3, s=3, p=2, c=4.0, w=7.0)
+        best = brute_force_best(inst).makespan
+        assert thrifty(inst).makespan > best  # Thrifty suboptimal here
+
+    @given(
+        r=st.integers(1, 4),
+        s=st.integers(1, 4),
+        p=st.integers(1, 3),
+        c=st.sampled_from([0.5, 2.0, 8.0]),
+        w=st.sampled_from([1.0, 7.0]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_heuristics_complete_all_tasks(self, r, s, p, c, w):
+        inst = SimpleInstance(r=r, s=s, p=p, c=c, w=w)
+        for algo in (thrifty, min_min):
+            res = algo(inst)
+            assert res.tasks_done == inst.tasks
+            assert res.makespan > 0
+
+    @given(
+        r=st.integers(1, 3),
+        s=st.integers(1, 3),
+        c=st.sampled_from([1.0, 4.0]),
+        w=st.sampled_from([2.0, 7.0]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_heuristics_never_beat_brute_force(self, r, s, c, w):
+        inst = SimpleInstance(r=r, s=s, p=2, c=c, w=w)
+        best = brute_force_best(inst).makespan
+        assert thrifty(inst).makespan >= best - 1e-9
+        assert min_min(inst).makespan >= best - 1e-9
+
+    def test_thrifty_single_worker_matches_alternating(self):
+        inst = SimpleInstance(r=3, s=3, p=1, c=2.0, w=3.0)
+        assert thrifty(inst).makespan == pytest.approx(
+            alternating_greedy(inst).makespan
+        )
+
+    def test_minmin_schedule_is_evaluable(self):
+        """Min-min's emitted send order must itself be a valid schedule:
+        replaying it under greedy claims computes every task (the
+        makespans may differ — the claim policies differ)."""
+        inst = SimpleInstance(r=3, s=3, p=2, c=4.0, w=7.0)
+        res = min_min(inst)
+        replay = evaluate_schedule(inst, res.schedule)
+        assert replay.tasks_done == inst.tasks
+        assert replay.comm_volume == res.comm_volume
+
+
+class TestBruteForce:
+    def test_node_budget_enforced(self):
+        inst = SimpleInstance(r=4, s=4, p=2, c=1.0, w=1.0)
+        with pytest.raises(RuntimeError):
+            brute_force_best(inst, node_budget=50)
+
+    def test_trivial_instance(self):
+        inst = SimpleInstance(r=1, s=1, p=2, c=1.0, w=1.0)
+        assert brute_force_best(inst).makespan == 3.0

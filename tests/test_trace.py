@@ -1,0 +1,95 @@
+"""Tests for trace recording and metrics (repro.engine.trace)."""
+
+import pytest
+
+from repro.analysis import summarize_trace
+from repro.engine.trace import CommInterval, ComputeInterval, Trace
+
+
+def build_trace() -> Trace:
+    tr = Trace()
+    tr.add_comm(CommInterval(1, "send", 0.0, 2.0, 4, "C-in"))
+    tr.add_comm(CommInterval(2, "send", 2.0, 3.0, 2, "AB"))
+    tr.add_comm(CommInterval(1, "recv", 3.0, 5.0, 4, "C-out"))
+    tr.add_compute(ComputeInterval(1, 2.0, 6.0, 8, "upd"))
+    tr.add_compute(ComputeInterval(2, 3.0, 4.0, 2, "upd"))
+    return tr
+
+
+class TestMetrics:
+    def test_makespan_is_last_event(self):
+        assert build_trace().makespan == 6.0
+
+    def test_comm_blocks(self):
+        assert build_trace().comm_blocks == 10
+
+    def test_total_updates(self):
+        assert build_trace().total_updates == 10
+
+    def test_ccr(self):
+        assert build_trace().ccr == pytest.approx(1.0)
+
+    def test_ccr_without_compute_raises(self):
+        with pytest.raises(ValueError):
+            _ = Trace().ccr
+
+    def test_enrolled_workers(self):
+        assert build_trace().enrolled_workers == (1, 2)
+
+    def test_port_busy_and_utilisation(self):
+        tr = build_trace()
+        assert tr.port_busy_time(0) == pytest.approx(5.0)
+        assert tr.port_utilisation(0) == pytest.approx(5.0 / 6.0)
+
+    def test_worker_busy_and_utilisation(self):
+        tr = build_trace()
+        assert tr.worker_busy_time(1) == pytest.approx(4.0)
+        assert tr.worker_utilisation(2) == pytest.approx(1.0 / 6.0)
+
+    def test_memory_peak_keeps_max(self):
+        tr = Trace()
+        tr.note_memory(1, 5)
+        tr.note_memory(1, 9)
+        tr.note_memory(1, 3)
+        assert tr.memory_peak[1] == 9
+
+    def test_empty_trace_makespan_zero(self):
+        assert Trace().makespan == 0.0
+
+    def test_summarize(self):
+        s = summarize_trace(build_trace())
+        assert s.makespan == 6.0
+        assert s.workers_used == 2
+        assert s.ccr == pytest.approx(1.0)
+        assert 0 < s.mean_worker_utilisation < 1
+
+
+class TestInvariants:
+    def test_valid_trace_passes(self):
+        build_trace().check_invariants()
+
+    def test_port_overlap_detected(self):
+        tr = Trace()
+        tr.add_comm(CommInterval(1, "send", 0.0, 2.0, 1))
+        tr.add_comm(CommInterval(2, "send", 1.0, 3.0, 1))
+        with pytest.raises(AssertionError, match="port"):
+            tr.check_invariants()
+
+    def test_different_ports_may_overlap(self):
+        tr = Trace()
+        tr.add_comm(CommInterval(1, "send", 0.0, 2.0, 1, "", 0))
+        tr.add_comm(CommInterval(2, "recv", 1.0, 3.0, 1, "", 1))
+        tr.check_invariants()  # two-port model: fine
+
+    def test_worker_compute_overlap_detected(self):
+        tr = Trace()
+        tr.add_compute(ComputeInterval(1, 0.0, 2.0, 1))
+        tr.add_compute(ComputeInterval(1, 1.0, 3.0, 1))
+        with pytest.raises(AssertionError, match="compute"):
+            tr.check_invariants()
+
+    def test_different_workers_may_compute_concurrently(self):
+        tr = Trace()
+        tr.add_compute(ComputeInterval(1, 0.0, 2.0, 1))
+        tr.add_compute(ComputeInterval(2, 1.0, 3.0, 1))
+        tr.check_invariants()

@@ -1,0 +1,79 @@
+"""Tests for workload definitions and the CLI entry point."""
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.workloads import (
+    FIG10_WORKLOADS,
+    FIG12_BLOCK_SIZES,
+    FIG13_MEMORY_MB,
+    FIG13_WORKLOAD,
+    Workload,
+    fig10_workloads,
+)
+
+
+class TestWorkloads:
+    def test_section83_shapes(self):
+        shapes = [w.shape(80) for w in FIG10_WORKLOADS]
+        assert (shapes[0].r, shapes[0].t, shapes[0].s) == (100, 100, 800)
+        assert (shapes[1].r, shapes[1].t, shapes[1].s) == (200, 200, 1600)
+        assert (shapes[2].r, shapes[2].t, shapes[2].s) == (100, 800, 800)
+
+    def test_q40_doubles_grid(self):
+        s40 = FIG10_WORKLOADS[0].shape(40)
+        s80 = FIG10_WORKLOADS[0].shape(80)
+        assert s40.r == 2 * s80.r
+
+    def test_scaled_divides_dimensions(self):
+        w = FIG10_WORKLOADS[0].scaled(4)
+        assert w.n_a == 2000
+        assert "/4" in w.name
+
+    def test_scaled_validation(self):
+        with pytest.raises(ValueError):
+            FIG10_WORKLOADS[0].scaled(0)
+
+    def test_shape_rounds_to_block_multiple(self):
+        w = Workload("odd", 1001, 999, 1003)
+        shape = w.shape(80)
+        assert shape.n_a == 960
+        assert shape.n_ab == 960
+
+    def test_fig13_constants(self):
+        assert 132.0 in FIG13_MEMORY_MB
+        assert 512.0 in FIG13_MEMORY_MB
+        assert FIG13_WORKLOAD.n_b == 64000
+
+    def test_fig10_workloads_helper(self):
+        plain = fig10_workloads()
+        scaled = fig10_workloads(scale=8)
+        assert plain[0].n_a == 8000
+        assert scaled[0].n_a == 1000
+
+    def test_block_size_constants(self):
+        assert FIG12_BLOCK_SIZES == (40, 80)
+
+
+class TestCLI:
+    def test_list_exits_zero(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out and "table2" in out
+
+    def test_no_args_lists(self, capsys):
+        assert cli_main([]) == 0
+        assert "Available experiments" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert cli_main(["nonsense"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_runs_fig04(self, capsys):
+        assert cli_main(["fig04"]) == 0
+        out = capsys.readouterr().out
+        assert "Thrifty" in out and "Min-min" in out
+
+    def test_runs_table1(self, capsys):
+        assert cli_main(["table1"]) == 0
+        assert "feasib" in capsys.readouterr().out.lower()
