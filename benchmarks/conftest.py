@@ -6,6 +6,13 @@ pytest-benchmark (so regressions in simulation speed are visible),
 prints the same rows/series the paper reports, and asserts the paper's
 qualitative claims on the output.
 
+Results are memoized in the sweep result cache (the same one
+``python -m repro sweep`` uses), so a repeated benchmark run is warm:
+every experiment row is served from disk instead of re-simulated.
+Pass ``--repro-no-cache`` to force cold measurements, or point
+``$REPRO_CACHE_DIR`` somewhere else.  Any code change invalidates the
+cache automatically (keys embed a digest of the package sources).
+
 Run with::
 
     pytest benchmarks/ --benchmark-only
@@ -15,14 +22,40 @@ Add ``-s`` to see the reproduced tables.
 
 from __future__ import annotations
 
-import pytest
+from repro.runner import cached_call
+
+_use_cache = True
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-no-cache",
+        action="store_true",
+        default=False,
+        help="bypass the sweep result cache (force cold benchmark runs)",
+    )
+
+
+def pytest_configure(config):
+    global _use_cache
+    _use_cache = not config.getoption("--repro-no-cache")
 
 
 def one_shot(benchmark, fn, *args, **kwargs):
-    """Benchmark ``fn`` with a single measured round.
+    """Benchmark ``fn`` with a single measured round, cache-backed.
 
     The experiment simulations are deterministic; a single round gives
     a stable wall-clock figure without multiplying multi-second
-    simulations.
+    simulations.  With the cache enabled (default) the round serves
+    previously computed results from disk; results that are not
+    JSON-serialisable (e.g. trace objects) are computed fresh each run.
     """
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    qualname = getattr(fn, "__qualname__", fn.__name__)
+    # Closures/lambdas capture state invisible to the cache key (only the
+    # qualname and call arguments are hashed) — never serve them stale.
+    if _use_cache and "<" not in qualname:
+        tag = f"{fn.__module__}.{qualname}"
+        target = lambda *a, **kw: cached_call(tag, fn, *a, **kw)  # noqa: E731
+    else:
+        target = fn
+    return benchmark.pedantic(target, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -2,29 +2,158 @@
 
 Usage::
 
-    python -m repro list            # show available experiments
-    python -m repro fig10           # run the Figure 10 reproduction
-    python -m repro all             # run everything (slow)
+    python -m repro list              # show available experiments
+    python -m repro fig10             # run the Figure 10 reproduction
+    python -m repro all               # run everything (slow)
+    python -m repro sweep fig10 --jobs 4        # parallel + cached
+    python -m repro sweep all --jobs 8 --scale 8
+    python -m repro cache info        # cache location, entries, size
+    python -m repro cache clear       # drop every cached result
+
+``sweep`` runs an experiment's campaign through the unified runner
+(:mod:`repro.runner`): points fan out over ``--jobs`` worker processes
+and results are memoized in a content-addressed on-disk cache, so a
+repeated invocation completes without re-running any simulation.
+Aggregated tables are identical to the plain serial path.
+
+Exit codes: 0 on success, 2 for unknown experiment/sweep names or bad
+arguments.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
-from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments import ALL_EXPERIMENTS, campaign_for
+
+
+def _print_experiment_list() -> None:
+    print("Available experiments:")
+    for name, module in ALL_EXPERIMENTS.items():
+        headline = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:<10s} {headline}")
+    print("  all        run every experiment in sequence")
+    print(
+        "\nSubcommands:\n"
+        "  sweep NAME [--jobs N] [--no-cache] [--cache-dir D] [--scale K]\n"
+        "             run NAME's campaign through the parallel cached runner\n"
+        "  cache [info|clear] [--cache-dir D]\n"
+        "             inspect or empty the sweep result cache"
+    )
+
+
+def _cmd_sweep(argv: list[str]) -> int:
+    """``python -m repro sweep NAME`` — the parallel/cached runner."""
+    from repro.analysis.tables import format_table
+    from repro.runner import ResultCache, run_campaign
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sweep",
+        description="Run an experiment campaign through the sweep runner.",
+    )
+    parser.add_argument(
+        "name", help="experiment name (see 'python -m repro list') or 'all'"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for cache-miss points (default 1)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every point and write nothing to the cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache location (default $REPRO_CACHE_DIR or ~/.cache/repro-sweeps)",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=None, metavar="K",
+        help="divide matrix dimensions by K where supported (quick runs)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-point progress lines"
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return 0 if exc.code in (0, None) else 2
+
+    names = list(ALL_EXPERIMENTS) if args.name == "all" else [args.name]
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment {unknown[0]!r}; try 'python -m repro list'")
+        return 2
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    progress = None
+    if not args.quiet:
+        def progress(ev):  # noqa: ANN001 — repro.runner.Progress
+            source = "cache" if ev.cached else f"{ev.seconds:6.2f}s"
+            print(
+                f"[{ev.sweep} {ev.index + 1}/{ev.total}] {source}",
+                file=sys.stderr,
+            )
+
+    for name in names:
+        result = run_campaign(
+            campaign_for(name, scale=args.scale),
+            jobs=args.jobs,
+            cache=cache,
+            progress=progress,
+        )
+        for sweep_result in result.sweeps:
+            print(format_table(sweep_result.rows, title=sweep_result.title))
+            print()
+        print(
+            f"{name}: {result.hits} cached, {result.misses} computed "
+            f"in {result.elapsed:.2f}s"
+            + ("" if cache else " (cache disabled)")
+        )
+    return 0
+
+
+def _cmd_cache(argv: list[str]) -> int:
+    """``python -m repro cache [info|clear]`` — cache maintenance."""
+    from repro.runner import ResultCache
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cache",
+        description="Inspect or empty the sweep result cache.",
+    )
+    parser.add_argument(
+        "action", nargs="?", default="info", choices=("info", "clear")
+    )
+    parser.add_argument("--cache-dir", default=None, metavar="DIR")
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return 0 if exc.code in (0, None) else 2
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.root}")
+        return 0
+    stats = cache.stats()
+    print(f"cache dir : {cache.root}")
+    print(f"entries   : {stats.entries}")
+    print(f"size      : {stats.bytes / 1024:.1f} KiB")
+    print(f"sweeps    : {', '.join(stats.sweeps) if stats.sweeps else '(none)'}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Dispatch to an experiment's ``main()``; returns the exit code."""
+    """Dispatch to a subcommand or an experiment's ``main()``."""
     args = argv if argv is not None else sys.argv[1:]
     if not args or args[0] in ("-h", "--help", "list"):
-        print("Available experiments:")
-        for name, module in ALL_EXPERIMENTS.items():
-            headline = (module.__doc__ or "").strip().splitlines()[0]
-            print(f"  {name:<10s} {headline}")
-        print("  all        run every experiment in sequence")
+        _print_experiment_list()
         return 0
     name = args[0]
+    if name == "sweep":
+        return _cmd_sweep(args[1:])
+    if name == "cache":
+        return _cmd_cache(args[1:])
     if name == "all":
         for key, module in ALL_EXPERIMENTS.items():
             print(f"\n{'=' * 72}\n== {key}\n{'=' * 72}")

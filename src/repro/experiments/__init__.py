@@ -1,10 +1,12 @@
 """Experiment harness: one module per table/figure of the paper.
 
 Every module exposes ``run(...) -> list[dict]`` returning the rows the
-paper's corresponding table/figure reports, plus a ``main()`` that
-prints them.  The ``benchmarks/`` directory wraps these in
-pytest-benchmark targets; the CLI (``python -m repro``) runs them by
-name.
+paper's corresponding table/figure reports, a ``main()`` that prints
+them, and a ``campaign()`` declaring the same work as
+:class:`repro.runner.Campaign` sweeps for the parallel/cached runner
+(``python -m repro sweep <name>``).  The ``benchmarks/`` directory
+wraps these in pytest-benchmark targets; the CLI (``python -m repro``)
+runs them by name.
 
 | Module              | Reproduces                                             |
 |---------------------|--------------------------------------------------------|
@@ -52,4 +54,20 @@ ALL_EXPERIMENTS = {
     "ablations": ablations,
 }
 
-__all__ = ["ALL_EXPERIMENTS"]
+__all__ = ["ALL_EXPERIMENTS", "campaign_for"]
+
+
+def campaign_for(name: str, scale: int | None = None):
+    """The :class:`repro.runner.Campaign` for experiment ``name``.
+
+    ``scale`` is forwarded to campaigns that support it (the Figure
+    10-13 simulations); experiments with fixed paper instances ignore
+    it.  Raises ``KeyError`` for unknown names.
+    """
+    import inspect
+
+    module = ALL_EXPERIMENTS[name]
+    factory = module.campaign
+    if scale is not None and "scale" in inspect.signature(factory).parameters:
+        return factory(scale=scale)
+    return factory()

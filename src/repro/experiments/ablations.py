@@ -9,9 +9,13 @@
 * **start-up overhead** — measured fraction of time lost to C-tile
   I/O versus the paper's analytical bound ``µ/t + 2c/(tw)``.
 * **lookahead depth** — selection ratio vs depth on Table 2.
+
+The module's campaign groups the four ablations as four sweeps.
 """
 
 from __future__ import annotations
+
+from typing import Mapping
 
 from repro.analysis.tables import format_table
 from repro.blocks.shape import ProblemShape
@@ -21,86 +25,158 @@ from repro.core.layout import mu_overlap
 from repro.engine import run_scheduler
 from repro.platform.model import Platform
 from repro.platform.named import table2_platform, ut_cluster_platform
+from repro.runner import Campaign, Sweep, run_sweep
 from repro.schedulers import DDOML, HoLM, ODDOML
 
-__all__ = ["run_ports", "run_overlap", "run_startup", "run_lookahead", "main"]
+__all__ = [
+    "run_ports",
+    "run_overlap",
+    "run_startup",
+    "run_lookahead",
+    "main",
+    "campaign",
+]
 
 
-def run_ports(scale: int = 8) -> list[dict]:
-    """HoLM under one-port vs two-port masters."""
+def _ports_point(params: Mapping) -> dict:
+    """HoLM makespan under a one- or two-port master."""
     from repro.workloads import FIG10_WORKLOADS
 
-    shape = FIG10_WORKLOADS[0].scaled(scale).shape(80)
+    shape = FIG10_WORKLOADS[0].scaled(params["scale"]).shape(80)
     platform = ut_cluster_platform(p=8)
-    rows = []
-    for two_port in (False, True):
-        trace = run_scheduler(HoLM(), platform, shape, two_port=two_port)
-        rows.append(
-            {
-                "model": "two-port" if two_port else "one-port",
-                "makespan_s": trace.makespan,
-                "send_port_util": trace.port_utilisation(0),
-            }
-        )
+    two_port = params["two_port"]
+    trace = run_scheduler(HoLM(), platform, shape, two_port=two_port)
+    return {
+        "model": "two-port" if two_port else "one-port",
+        "makespan_s": trace.makespan,
+        "send_port_util": trace.port_utilisation(0),
+    }
+
+
+def _ports_aggregate(values: list) -> list[dict]:
+    """Add the relative-to-one-port column (needs both rows)."""
+    rows = [dict(v) for v in values]
     base = rows[0]["makespan_s"]
     for row in rows:
         row["vs_one_port_pct"] = 100.0 * (row["makespan_s"] - base) / base
     return rows
 
 
+def _overlap_point(params: Mapping) -> dict:
+    """ODDOML vs DDOML at one memory size."""
+    m = params["m"]
+    shape = ProblemShape(r=24, s=36, t=12, q=16)
+    platform = Platform.homogeneous(4, c=0.2, w=0.1, m=m)
+    t_over = run_scheduler(ODDOML(), platform, shape).makespan
+    t_flat = run_scheduler(DDOML(), platform, shape).makespan
+    return {
+        "m_blocks": m,
+        "mu_overlap": mu_overlap(m),
+        "oddoml_s": t_over,
+        "ddoml_s": t_flat,
+        "overlap_gain_pct": 100.0 * (t_flat - t_over) / t_over,
+    }
+
+
+def _startup_point(params: Mapping) -> dict:
+    """Measured C-tile overhead vs the paper's bound for one ``t``."""
+    t = params["t"]
+    c, w = 2.0, 4.5  # the paper's own example values
+    m = 21  # µ = 3 under the overlap layout
+    mu = mu_overlap(m)
+    platform = Platform.homogeneous(1, c=c, w=w, m=m)
+    shape = ProblemShape(r=mu, s=mu, t=t, q=8)
+    trace = run_scheduler(HoLM(), platform, shape)
+    # Time attributable to C traffic = 2µ²c per chunk (1 chunk here).
+    c_io = 2 * mu * mu * c
+    return {
+        "t": t,
+        "mu": mu,
+        "c_io_fraction": c_io / trace.makespan,
+        "paper_bound": startup_overhead_fraction(mu, t, c, w),
+    }
+
+
+def _lookahead_point(params: Mapping) -> dict:
+    """Selection ratio at one lookahead depth on the Table 2 platform."""
+    platform = table2_platform()
+    sel = lookahead_selection(
+        platform, 10**6, 10**7, 10**6, depth=params["depth"], max_steps=1200
+    )
+    return {"depth": params["depth"], "ratio": sel.ratio}
+
+
+def ports_sweep(scale: int = 8) -> Sweep:
+    """Declare the one-port/two-port pair."""
+    return Sweep(
+        name="ablation-ports",
+        run_fn=_ports_point,
+        points=tuple({"scale": scale, "two_port": tp} for tp in (False, True)),
+        aggregate=_ports_aggregate,
+        title="Ablation: one-port vs two-port master",
+    )
+
+
+def overlap_sweep(memories: tuple[int, ...] = (24, 60, 120, 360, 1200)) -> Sweep:
+    """Declare one overlap-vs-flat point per memory size."""
+    return Sweep(
+        name="ablation-overlap",
+        run_fn=_overlap_point,
+        points=tuple({"m": m} for m in memories),
+        title="Ablation: overlap vs no-overlap layout",
+    )
+
+
+def startup_sweep(t_values: tuple[int, ...] = (10, 25, 50, 100)) -> Sweep:
+    """Declare one start-up-overhead point per inner dimension ``t``."""
+    return Sweep(
+        name="ablation-startup",
+        run_fn=_startup_point,
+        points=tuple({"t": t} for t in t_values),
+        title="Ablation: start-up (C-tile I/O) overhead",
+    )
+
+
+def lookahead_sweep(depths: tuple[int, ...] = (1, 2, 3)) -> Sweep:
+    """Declare one selection-ratio point per lookahead depth."""
+    return Sweep(
+        name="ablation-lookahead",
+        run_fn=_lookahead_point,
+        points=tuple({"depth": d} for d in depths),
+        title="Ablation: lookahead depth (Table 2)",
+    )
+
+
+def campaign(scale: int = 8) -> Campaign:
+    """The four ablation sweeps, in the order ``main()`` prints them.
+
+    ``scale`` reaches the one scale-parameterised sweep (ports); the
+    other three ablate fixed paper instances.
+    """
+    return Campaign(
+        "ablations",
+        (ports_sweep(scale=scale), overlap_sweep(), startup_sweep(), lookahead_sweep()),
+    )
+
+
+def run_ports(scale: int = 8) -> list[dict]:
+    """HoLM under one-port vs two-port masters."""
+    return run_sweep(ports_sweep(scale=scale)).rows
+
+
 def run_overlap(memories: tuple[int, ...] = (24, 60, 120, 360, 1200)) -> list[dict]:
     """ODDOML (overlap) vs DDOML (bigger µ, no overlap) across memory."""
-    shape = ProblemShape(r=24, s=36, t=12, q=16)
-    rows = []
-    for m in memories:
-        platform = Platform.homogeneous(4, c=0.2, w=0.1, m=m)
-        t_over = run_scheduler(ODDOML(), platform, shape).makespan
-        t_flat = run_scheduler(DDOML(), platform, shape).makespan
-        rows.append(
-            {
-                "m_blocks": m,
-                "mu_overlap": mu_overlap(m),
-                "oddoml_s": t_over,
-                "ddoml_s": t_flat,
-                "overlap_gain_pct": 100.0 * (t_flat - t_over) / t_over,
-            }
-        )
-    return rows
+    return run_sweep(overlap_sweep(memories=memories)).rows
 
 
 def run_startup(t_values: tuple[int, ...] = (10, 25, 50, 100)) -> list[dict]:
     """Measured C-tile overhead vs the paper's bound ``µ/t + 2c/tw``."""
-    rows = []
-    c, w = 2.0, 4.5  # the paper's own example values
-    for t in t_values:
-        m = 21  # µ = 3 under the overlap layout
-        mu = mu_overlap(m)
-        platform = Platform.homogeneous(1, c=c, w=w, m=m)
-        shape = ProblemShape(r=mu, s=mu, t=t, q=8)
-        trace = run_scheduler(HoLM(), platform, shape)
-        # Time attributable to C traffic = 2µ²c per chunk (1 chunk here).
-        c_io = 2 * mu * mu * c
-        rows.append(
-            {
-                "t": t,
-                "mu": mu,
-                "c_io_fraction": c_io / trace.makespan,
-                "paper_bound": startup_overhead_fraction(mu, t, c, w),
-            }
-        )
-    return rows
+    return run_sweep(startup_sweep(t_values=t_values)).rows
 
 
 def run_lookahead(depths: tuple[int, ...] = (1, 2, 3)) -> list[dict]:
     """Selection ratio vs lookahead depth on the Table 2 platform."""
-    platform = table2_platform()
-    rows = []
-    for depth in depths:
-        sel = lookahead_selection(
-            platform, 10**6, 10**7, 10**6, depth=depth, max_steps=1200
-        )
-        rows.append({"depth": depth, "ratio": sel.ratio})
-    return rows
+    return run_sweep(lookahead_sweep(depths=depths)).rows
 
 
 def main() -> None:

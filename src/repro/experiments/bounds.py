@@ -8,9 +8,13 @@ For a sweep of memory sizes ``m``, tabulates:
 * the refined Toledo bound ``sqrt(27/32m)``,
 * the previously best published bound ``sqrt(1/8m)``,
 * the gap factor max-re-use / Loomis–Whitney (→ ``sqrt(32/27) ≈ 1.09``).
+
+One sweep point = one memory size.
 """
 
 from __future__ import annotations
+
+from typing import Mapping
 
 from repro.analysis.tables import format_table
 from repro.blocks.shape import ProblemShape
@@ -24,9 +28,10 @@ from repro.core.bounds import (
 from repro.core.layout import max_reuse_mu
 from repro.engine import run_scheduler
 from repro.platform.model import Platform
+from repro.runner import Campaign, Sweep, run_sweep
 from repro.schedulers.maxreuse import MaxReuse
 
-__all__ = ["run", "simulated_ccr", "main", "DEFAULT_MEMORIES"]
+__all__ = ["run", "simulated_ccr", "main", "sweep", "campaign", "DEFAULT_MEMORIES"]
 
 #: Memory sizes (in blocks) swept by default.
 DEFAULT_MEMORIES: tuple[int, ...] = (21, 57, 111, 241, 511, 1023, 4095, 10000)
@@ -46,26 +51,43 @@ def simulated_ccr(m: int, t: int = 40) -> float:
     return trace.ccr
 
 
+def _point(params: Mapping) -> dict:
+    """Bounds and achieved CCR for one memory size."""
+    m, t = params["m"], params["t"]
+    lw = ccr_lower_bound_loomis_whitney(m)
+    achieved = ccr_max_reuse_asymptotic(m)
+    return {
+        "m": m,
+        "mu": max_reuse_mu(m),
+        "ccr_maxreuse(t)": ccr_max_reuse(m, t),
+        "ccr_simulated(t)": simulated_ccr(m, t),
+        "ccr_maxreuse_inf": achieved,
+        "bound_loomis_whitney": lw,
+        "bound_toledo_refined": ccr_lower_bound_toledo_refined(m),
+        "bound_prev_best": ccr_lower_bound_irony_toledo_tiskin(m),
+        "gap_vs_LW": achieved / lw,
+    }
+
+
+def sweep(memories: tuple[int, ...] = DEFAULT_MEMORIES, t: int = 40) -> Sweep:
+    """Declare one point per memory size."""
+    points = tuple({"m": m, "t": t} for m in memories)
+    return Sweep(
+        name="bounds",
+        run_fn=_point,
+        points=points,
+        title="Section 4: CCR of maximum re-use vs lower bounds (blocks/update)",
+    )
+
+
+def campaign() -> Campaign:
+    """The Section 4 bounds campaign (a single sweep)."""
+    return Campaign("bounds", (sweep(),))
+
+
 def run(memories: tuple[int, ...] = DEFAULT_MEMORIES, t: int = 40) -> list[dict]:
     """Tabulate bounds and achieved CCR for each memory size."""
-    rows = []
-    for m in memories:
-        lw = ccr_lower_bound_loomis_whitney(m)
-        achieved = ccr_max_reuse_asymptotic(m)
-        rows.append(
-            {
-                "m": m,
-                "mu": max_reuse_mu(m),
-                "ccr_maxreuse(t)": ccr_max_reuse(m, t),
-                "ccr_simulated(t)": simulated_ccr(m, t),
-                "ccr_maxreuse_inf": achieved,
-                "bound_loomis_whitney": lw,
-                "bound_toledo_refined": ccr_lower_bound_toledo_refined(m),
-                "bound_prev_best": ccr_lower_bound_irony_toledo_tiskin(m),
-                "gap_vs_LW": achieved / lw,
-            }
-        )
-    return rows
+    return run_sweep(sweep(memories=memories, t=t)).rows
 
 
 def main() -> None:

@@ -6,19 +6,75 @@ two counterexample instances:
 
 * (a) ``p=2, c=4, w=7, r=s=3`` — Min-min wins;
 * (b) ``p=2, c=8, w=9, r=6, s=3`` — Thrifty wins.
+
+One sweep point = one counterexample instance.
 """
 
 from __future__ import annotations
 
+from typing import Mapping
+
 from repro.analysis.tables import format_table
+from repro.runner import Campaign, Sweep, run_sweep
 from repro.simple import SimpleInstance, brute_force_best, min_min, thrifty
 
-__all__ = ["INSTANCE_A", "INSTANCE_B", "run", "main"]
+__all__ = ["INSTANCE_A", "INSTANCE_B", "run", "main", "sweep", "campaign"]
 
 #: Figure 4(a): Min-min beats Thrifty.
 INSTANCE_A = SimpleInstance(r=3, s=3, p=2, c=4.0, w=7.0)
 #: Figure 4(b): Thrifty beats Min-min.
 INSTANCE_B = SimpleInstance(r=6, s=3, p=2, c=8.0, w=9.0)
+
+
+def _point(params: Mapping) -> dict:
+    """Evaluate both heuristics (and maybe brute force) on one instance."""
+    inst = SimpleInstance(
+        r=params["r"], s=params["s"], p=params["p"], c=params["c"], w=params["w"]
+    )
+    t = thrifty(inst)
+    m = min_min(inst)
+    row = {
+        "instance": params["instance"],
+        "r": inst.r,
+        "s": inst.s,
+        "c": inst.c,
+        "w": inst.w,
+        "thrifty": t.makespan,
+        "min_min": m.makespan,
+        "winner": "Min-min" if m.makespan < t.makespan else "Thrifty",
+    }
+    if params["brute_force"] and inst.tasks <= 9:
+        # Instance (b) (18 tasks, duplicable files) is beyond
+        # exhaustive search; only (a) gets a certified optimum.
+        row["optimal"] = brute_force_best(inst).makespan
+    return row
+
+
+def sweep(brute_force: bool = True) -> Sweep:
+    """Declare one point per counterexample instance."""
+    points = tuple(
+        {
+            "instance": label,
+            "r": inst.r,
+            "s": inst.s,
+            "p": inst.p,
+            "c": inst.c,
+            "w": inst.w,
+            "brute_force": brute_force,
+        }
+        for label, inst in (("Fig4(a)", INSTANCE_A), ("Fig4(b)", INSTANCE_B))
+    )
+    return Sweep(
+        name="fig04",
+        run_fn=_point,
+        points=points,
+        title="Figure 4: Thrifty vs Min-min (makespans)",
+    )
+
+
+def campaign() -> Campaign:
+    """The Figure 4 campaign (a single two-point sweep)."""
+    return Campaign("fig04", (sweep(),))
 
 
 def run(brute_force: bool = True) -> list[dict]:
@@ -27,26 +83,7 @@ def run(brute_force: bool = True) -> list[dict]:
     ``brute_force`` additionally reports the exhaustive optimum (slow
     for (b); disable for quick runs).
     """
-    rows: list[dict] = []
-    for label, inst in (("Fig4(a)", INSTANCE_A), ("Fig4(b)", INSTANCE_B)):
-        t = thrifty(inst)
-        m = min_min(inst)
-        row = {
-            "instance": label,
-            "r": inst.r,
-            "s": inst.s,
-            "c": inst.c,
-            "w": inst.w,
-            "thrifty": t.makespan,
-            "min_min": m.makespan,
-            "winner": "Min-min" if m.makespan < t.makespan else "Thrifty",
-        }
-        if brute_force and inst.tasks <= 9:
-            # Instance (b) (18 tasks, duplicable files) is beyond
-            # exhaustive search; only (a) gets a certified optimum.
-            row["optimal"] = brute_force_best(inst).makespan
-        rows.append(row)
-    return rows
+    return run_sweep(sweep(brute_force=brute_force)).rows
 
 
 def main() -> None:

@@ -9,18 +9,77 @@ Expected shape (Section 8.4): HoLM, ORROML, ODDOML and DDOML are
 fastest and similar (within the ~6 % noise band of Figure 11); OMMOML
 is slower and uses few workers; BMM/OBMM (Toledo's layout) are clearly
 worse; HoLM matches the leaders while enrolling only 4 of 8 workers.
+
+One sweep point = one (workload, algorithm) pair; the per-point
+function rebuilds the platform and workload from the point's scalars so
+points are pure, cacheable, and fan out across processes.
 """
 
 from __future__ import annotations
+
+from typing import Mapping
 
 from repro.analysis.metrics import summarize_trace
 from repro.analysis.tables import format_table
 from repro.engine import run_scheduler
 from repro.platform.named import ut_cluster_platform
-from repro.schedulers import all_section8_schedulers
-from repro.workloads import fig10_workloads
+from repro.runner import Campaign, Sweep, run_sweep
+from repro.schedulers import SECTION8_SCHEDULERS, section8_scheduler
+from repro.workloads import Workload, fig10_workloads
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "sweep", "campaign"]
+
+
+def _point(params: Mapping) -> dict:
+    """Simulate one algorithm on one workload; returns the table row."""
+    platform = ut_cluster_platform(
+        p=params["p"], memory_mb=params["memory_mb"], q=params["q"]
+    )
+    workload = Workload(
+        params["workload"], params["n_a"], params["n_ab"], params["n_b"]
+    )
+    scheduler = section8_scheduler(params["algorithm"])
+    trace = run_scheduler(scheduler, platform, workload.shape(params["q"]))
+    s = summarize_trace(trace)
+    return {
+        "workload": workload.name,
+        "algorithm": scheduler.name,
+        "makespan_s": s.makespan,
+        "workers": s.workers_used,
+        "ccr": s.ccr,
+        "port_util": s.port_utilisation,
+    }
+
+
+def sweep(
+    scale: int = 1, p: int = 8, memory_mb: float = 512.0, q: int = 80
+) -> Sweep:
+    """Declare the 21-point (workload × algorithm) sweep."""
+    points = tuple(
+        {
+            "workload": workload.name,
+            "n_a": workload.n_a,
+            "n_ab": workload.n_ab,
+            "n_b": workload.n_b,
+            "algorithm": name,
+            "p": p,
+            "memory_mb": memory_mb,
+            "q": q,
+        }
+        for workload in fig10_workloads(scale)
+        for name in SECTION8_SCHEDULERS
+    )
+    return Sweep(
+        name="fig10",
+        run_fn=_point,
+        points=points,
+        title="Figure 10: algorithm makespans on the UT cluster (simulated)",
+    )
+
+
+def campaign(scale: int = 1) -> Campaign:
+    """The Figure 10 campaign (a single sweep)."""
+    return Campaign("fig10", (sweep(scale=scale),))
 
 
 def run(scale: int = 1, p: int = 8, memory_mb: float = 512.0, q: int = 80) -> list[dict]:
@@ -29,24 +88,7 @@ def run(scale: int = 1, p: int = 8, memory_mb: float = 512.0, q: int = 80) -> li
     ``scale`` divides every matrix dimension (use 4 or 8 for quick
     runs — the ranking is scale-invariant in the port-bound regime).
     """
-    platform = ut_cluster_platform(p=p, memory_mb=memory_mb, q=q)
-    rows = []
-    for workload in fig10_workloads(scale):
-        shape = workload.shape(q)
-        for scheduler in all_section8_schedulers():
-            trace = run_scheduler(scheduler, platform, shape)
-            s = summarize_trace(trace)
-            rows.append(
-                {
-                    "workload": workload.name,
-                    "algorithm": scheduler.name,
-                    "makespan_s": s.makespan,
-                    "workers": s.workers_used,
-                    "ccr": s.ccr,
-                    "port_util": s.port_utilisation,
-                }
-            )
-    return rows
+    return run_sweep(sweep(scale=scale, p=p, memory_mb=memory_mb, q=q)).rows
 
 
 def main() -> None:

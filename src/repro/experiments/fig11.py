@@ -6,9 +6,16 @@ be considered equivalent.  We reproduce the *analysis*: the platform's
 ``c``/``w`` parameters receive lognormal jitter (calibrated σ) per run,
 and the maximum relative gap between runs of the same algorithm is
 reported.
+
+One sweep point = one algorithm (its ``runs`` jittered executions
+happen inside the point).  Each point draws from its own RNG stream,
+seeded by ``(seed, algorithm index)``, so points are independent of
+execution order — a requirement for parallel fan-out and caching.
 """
 
 from __future__ import annotations
+
+from typing import Mapping
 
 import numpy as np
 
@@ -16,10 +23,69 @@ from repro.analysis.tables import format_table
 from repro.engine import run_scheduler
 from repro.platform.model import perturbed
 from repro.platform.named import ut_cluster_platform
-from repro.schedulers import all_section8_schedulers
-from repro.workloads import FIG10_WORKLOADS
+from repro.runner import Campaign, Sweep, run_sweep
+from repro.schedulers import SECTION8_SCHEDULERS, section8_scheduler
+from repro.workloads import FIG10_WORKLOADS, Workload
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "sweep", "campaign"]
+
+
+def _point(params: Mapping) -> dict:
+    """Repeat one algorithm ``runs`` times under platform jitter."""
+    rng = np.random.default_rng((params["seed"], params["algo_index"]))
+    base = ut_cluster_platform(p=8)
+    workload = Workload(
+        params["workload"], params["n_a"], params["n_ab"], params["n_b"]
+    )
+    shape = workload.shape(80)
+    times = []
+    for _ in range(params["runs"]):
+        platform = perturbed(base, rng, params["sigma"])
+        # Fresh scheduler instance per run (some keep per-run state).
+        scheduler = section8_scheduler(params["algorithm"])
+        trace = run_scheduler(scheduler, platform, shape)
+        times.append(trace.makespan)
+    lo, hi = min(times), max(times)
+    return {
+        "algorithm": params["algorithm"],
+        "runs": params["runs"],
+        "min_s": lo,
+        "mean_s": sum(times) / len(times),
+        "max_s": hi,
+        "spread_pct": 100.0 * (hi - lo) / lo,
+    }
+
+
+def sweep(
+    runs: int = 5, sigma: float = 0.02, scale: int = 8, seed: int = 2007
+) -> Sweep:
+    """Declare one jittered-repeat point per Section 8 algorithm."""
+    workload = FIG10_WORKLOADS[0].scaled(scale)
+    points = tuple(
+        {
+            "algorithm": name,
+            "algo_index": index,
+            "runs": runs,
+            "sigma": sigma,
+            "seed": seed,
+            "workload": workload.name,
+            "n_a": workload.n_a,
+            "n_ab": workload.n_ab,
+            "n_b": workload.n_b,
+        }
+        for index, name in enumerate(SECTION8_SCHEDULERS)
+    )
+    return Sweep(
+        name="fig11",
+        run_fn=_point,
+        points=points,
+        title="Figure 11: run-to-run variation (jittered platform)",
+    )
+
+
+def campaign(scale: int = 8) -> Campaign:
+    """The Figure 11 campaign (a single sweep)."""
+    return Campaign("fig11", (sweep(scale=scale),))
 
 
 def run(
@@ -33,30 +99,7 @@ def run(
     Returns per-algorithm min/max/mean makespan and the max spread
     ``(max-min)/min`` — the paper's Figure 11 quantity.
     """
-    rng = np.random.default_rng(seed)
-    base = ut_cluster_platform(p=8)
-    shape = FIG10_WORKLOADS[0].scaled(scale).shape(80)
-    rows = []
-    for scheduler_proto in all_section8_schedulers():
-        times = []
-        for _ in range(runs):
-            platform = perturbed(base, rng, sigma)
-            # Fresh scheduler instance per run (some keep per-run state).
-            scheduler = type(scheduler_proto)()
-            trace = run_scheduler(scheduler, platform, shape)
-            times.append(trace.makespan)
-        lo, hi = min(times), max(times)
-        rows.append(
-            {
-                "algorithm": scheduler_proto.name,
-                "runs": runs,
-                "min_s": lo,
-                "mean_s": sum(times) / len(times),
-                "max_s": hi,
-                "spread_pct": 100.0 * (hi - lo) / lo,
-            }
-        )
-    return rows
+    return run_sweep(sweep(runs=runs, sigma=sigma, scale=scale, seed=seed)).rows
 
 
 def main() -> None:

@@ -5,18 +5,76 @@ Sweeps the per-worker memory from 132 MB to 512 MB on the 16000×16000 ×
 memory for every algorithm; HoLM's resource selection "always performs
 in the best possible way", enrolling 2 workers at the low end and 4 at
 the high end while staying as fast as the algorithms that use all 8.
+
+One sweep point = one (memory size, algorithm) pair.
 """
 
 from __future__ import annotations
+
+from typing import Mapping
 
 from repro.analysis.metrics import summarize_trace
 from repro.analysis.tables import format_table
 from repro.engine import run_scheduler
 from repro.platform.named import ut_cluster_platform
-from repro.schedulers import all_section8_schedulers
-from repro.workloads import FIG13_MEMORY_MB, FIG13_WORKLOAD
+from repro.runner import Campaign, Sweep, run_sweep
+from repro.schedulers import SECTION8_SCHEDULERS, section8_scheduler
+from repro.workloads import FIG13_MEMORY_MB, FIG13_WORKLOAD, Workload
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "sweep", "campaign"]
+
+
+def _point(params: Mapping) -> dict:
+    """Simulate one algorithm at one worker memory size."""
+    platform = ut_cluster_platform(
+        p=8, memory_mb=params["memory_mb"], q=params["q"]
+    )
+    workload = Workload(
+        params["workload"], params["n_a"], params["n_ab"], params["n_b"]
+    )
+    scheduler = section8_scheduler(params["algorithm"])
+    trace = run_scheduler(scheduler, platform, workload.shape(params["q"]))
+    s = summarize_trace(trace)
+    return {
+        "memory_mb": params["memory_mb"],
+        "algorithm": scheduler.name,
+        "makespan_s": s.makespan,
+        "workers": s.workers_used,
+        "ccr": s.ccr,
+    }
+
+
+def sweep(
+    scale: int = 1,
+    memories_mb: tuple[float, ...] = FIG13_MEMORY_MB,
+    q: int = 80,
+) -> Sweep:
+    """Declare the (memory × algorithm) sweep, memory-major."""
+    workload = FIG13_WORKLOAD.scaled(scale) if scale > 1 else FIG13_WORKLOAD
+    points = tuple(
+        {
+            "workload": workload.name,
+            "n_a": workload.n_a,
+            "n_ab": workload.n_ab,
+            "n_b": workload.n_b,
+            "algorithm": name,
+            "memory_mb": memory_mb,
+            "q": q,
+        }
+        for memory_mb in memories_mb
+        for name in SECTION8_SCHEDULERS
+    )
+    return Sweep(
+        name="fig13",
+        run_fn=_point,
+        points=points,
+        title="Figure 13: impact of worker memory size",
+    )
+
+
+def campaign(scale: int = 1) -> Campaign:
+    """The Figure 13 campaign (a single sweep)."""
+    return Campaign("fig13", (sweep(scale=scale),))
 
 
 def run(
@@ -25,24 +83,7 @@ def run(
     q: int = 80,
 ) -> list[dict]:
     """One row per (memory, algorithm)."""
-    workload = FIG13_WORKLOAD.scaled(scale) if scale > 1 else FIG13_WORKLOAD
-    shape = workload.shape(q)
-    rows = []
-    for memory_mb in memories_mb:
-        platform = ut_cluster_platform(p=8, memory_mb=memory_mb, q=q)
-        for scheduler in all_section8_schedulers():
-            trace = run_scheduler(scheduler, platform, shape)
-            s = summarize_trace(trace)
-            rows.append(
-                {
-                    "memory_mb": memory_mb,
-                    "algorithm": scheduler.name,
-                    "makespan_s": s.makespan,
-                    "workers": s.workers_used,
-                    "ccr": s.ccr,
-                }
-            )
-    return rows
+    return run_sweep(sweep(scale=scale, memories_mb=memories_mb, q=q)).rows
 
 
 def main() -> None:

@@ -13,9 +13,14 @@ simulator:
 * for each degree: the steady-state upper bound, the global/local
   incremental selections, and the executed makespan of the
   HeteroIncremental scheduler.
+
+One sweep point = one (degree, variant) pair; the platform family is
+rebuilt inside the point from its seed, so points are pure.
 """
 
 from __future__ import annotations
+
+from typing import Mapping
 
 import numpy as np
 
@@ -29,9 +34,10 @@ from repro.core.heterogeneous import (
 )
 from repro.engine import run_scheduler
 from repro.platform.model import Platform
+from repro.runner import Campaign, Sweep, run_sweep
 from repro.schedulers.hetero import HeteroIncremental
 
-__all__ = ["heterogeneous_family", "run", "main"]
+__all__ = ["heterogeneous_family", "run", "main", "sweep", "campaign"]
 
 
 def heterogeneous_family(
@@ -61,35 +67,72 @@ def heterogeneous_family(
     return Platform.heterogeneous(c, w, m, name=f"hetero(h={degree:g})")
 
 
+def _point(params: Mapping) -> dict:
+    """Bound, selection ratio and executed makespan for one (degree, variant)."""
+    degree, variant = params["degree"], params["variant"]
+    platform = heterogeneous_family(params["p"], degree, seed=params["seed"])
+    r, s, t = params["r"], params["s"], params["t"]
+    steady = bandwidth_centric_steady_state(platform)
+    if variant == "global":
+        selection = global_selection(platform, r, s, t, max_steps=5000)
+    else:
+        selection = local_selection(platform, r, s, t, max_steps=5000)
+    shape = ProblemShape(r=r, s=s, t=t, q=params["q"])
+    trace = run_scheduler(HeteroIncremental(variant), platform, shape)
+    summary = summarize_trace(trace)
+    return {
+        "degree": degree,
+        "variant": variant,
+        "steady_bound": steady.throughput,
+        "selection_ratio": selection.ratio,
+        "makespan": summary.makespan,
+        "workers": summary.workers_used,
+        "port_util": summary.port_utilisation,
+    }
+
+
+def sweep(
+    degrees: tuple[float, ...] = (0.0, 0.5, 1.0, 2.0, 4.0),
+    p: int = 4,
+    shape: ProblemShape | None = None,
+    seed: int = 42,
+) -> Sweep:
+    """Declare the (degree × variant) sweep, degree-major."""
+    shape = shape or ProblemShape(r=40, s=60, t=20, q=16)
+    points = tuple(
+        {
+            "degree": degree,
+            "variant": variant,
+            "p": p,
+            "r": shape.r,
+            "s": shape.s,
+            "t": shape.t,
+            "q": shape.q,
+            "seed": seed,
+        }
+        for degree in degrees
+        for variant in ("global", "local")
+    )
+    return Sweep(
+        name="hetero",
+        run_fn=_point,
+        points=points,
+        title="Heterogeneity-degree sweep (the study announced in Section 8)",
+    )
+
+
+def campaign() -> Campaign:
+    """The heterogeneity campaign (a single sweep)."""
+    return Campaign("hetero", (sweep(),))
+
+
 def run(
     degrees: tuple[float, ...] = (0.0, 0.5, 1.0, 2.0, 4.0),
     p: int = 4,
     shape: ProblemShape | None = None,
 ) -> list[dict]:
     """Sweep the heterogeneity degree; one row per (degree, variant)."""
-    shape = shape or ProblemShape(r=40, s=60, t=20, q=16)
-    rows = []
-    for degree in degrees:
-        platform = heterogeneous_family(p, degree)
-        steady = bandwidth_centric_steady_state(platform)
-        g = global_selection(platform, shape.r, shape.s, shape.t, max_steps=5000)
-        l = local_selection(platform, shape.r, shape.s, shape.t, max_steps=5000)
-        for variant in ("global", "local"):
-            scheduler = HeteroIncremental(variant)
-            trace = run_scheduler(scheduler, platform, shape)
-            s = summarize_trace(trace)
-            rows.append(
-                {
-                    "degree": degree,
-                    "variant": variant,
-                    "steady_bound": steady.throughput,
-                    "selection_ratio": (g if variant == "global" else l).ratio,
-                    "makespan": s.makespan,
-                    "workers": s.workers_used,
-                    "port_util": s.port_utilisation,
-                }
-            )
-    return rows
+    return run_sweep(sweep(degrees=degrees, p=p, shape=shape)).rows
 
 
 def main() -> None:

@@ -9,9 +9,15 @@ Three sub-experiments:
    and the resulting makespan estimate on the UT cluster.
 3. **Heterogeneous pivot search** — best pivot size µ on the Table 2
    platform, with the per-worker chunk policies.
+
+The module's campaign groups four sweeps (costs, homogeneous,
+policies, simulation); each ``run_*`` helper is the serial wrapper
+around its sweep.
 """
 
 from __future__ import annotations
+
+from typing import Mapping
 
 from repro.analysis.tables import format_table
 from repro.core.heterogeneous import chunk_sizes
@@ -27,6 +33,7 @@ from repro.lu import (
     simulate_parallel_lu,
 )
 from repro.platform.named import table2_platform, ut_cluster_platform
+from repro.runner import Campaign, Sweep, run_sweep
 
 __all__ = [
     "run_costs",
@@ -34,70 +41,40 @@ __all__ = [
     "run_hetero_policies",
     "run_simulation",
     "main",
+    "campaign",
 ]
 
 
-def run_simulation(r: int = 56, p: int = 8) -> list[dict]:
-    """Engine-simulated parallel LU vs the closed-form estimate."""
+def _costs_point(params: Mapping) -> dict:
+    """Exact totals vs closed forms for one ``r``."""
+    r, mu = params["r"], params["mu"]
+    comm, comp = lu_total_cost(r, mu)
+    return {
+        "r": r,
+        "mu": mu,
+        "comm_exact": comm,
+        "comm_paper": lu_communication_paper_closed_form(r, mu),
+        "comm_panel_terms": 2.0 * r * (r - mu),
+        "comp_exact": comp,
+        "comp_paper": lu_computation_closed_form(r, mu),
+    }
+
+
+def _homogeneous_point(params: Mapping) -> dict:
+    """Worker count and makespan estimate for one candidate µ."""
+    r, p, mu = params["r"], params["p"], params["mu"]
     platform = ut_cluster_platform(p=p)
     wk = platform.workers[0]
-    rows = []
-    for mu in (d for d in (7, 14, 28) if r % d == 0):
-        trace = simulate_parallel_lu(platform, r, mu)
-        est = lu_makespan_estimate(r, mu, wk.c, wk.w, p)
-        rows.append(
-            {
-                "mu": mu,
-                "workers": len(trace.enrolled_workers),
-                "sim_makespan_s": trace.makespan,
-                "estimate_s": est,
-                "port_util": trace.port_utilisation(0),
-            }
-        )
-    return rows
+    return {
+        "mu": mu,
+        "P=ceil(mu*w/3c)": lu_worker_count(mu, wk.c, wk.w, p),
+        "makespan_est_s": lu_makespan_estimate(r, mu, wk.c, wk.w, p),
+    }
 
 
-def run_costs(mu: int = 8, r_values: tuple[int, ...] = (16, 32, 64, 128)) -> list[dict]:
-    """Exact totals vs closed forms for an ``r`` sweep."""
-    rows = []
-    for r in r_values:
-        comm, comp = lu_total_cost(r, mu)
-        rows.append(
-            {
-                "r": r,
-                "mu": mu,
-                "comm_exact": comm,
-                "comm_paper": lu_communication_paper_closed_form(r, mu),
-                "comm_panel_terms": 2.0 * r * (r - mu),
-                "comp_exact": comp,
-                "comp_paper": lu_computation_closed_form(r, mu),
-            }
-        )
-    return rows
-
-
-def run_homogeneous(r: int = 196, p: int = 8) -> list[dict]:
-    """Worker counts and makespan estimates on the UT cluster."""
-    platform = ut_cluster_platform(p=p)
-    wk = platform.workers[0]
-    mu = mu_overlap(wk.m)
-    rows = []
-    for candidate_mu in sorted({7, 14, 28, 49, 98, mu} & set(
-        d for d in range(1, r + 1) if r % d == 0
-    )):
-        workers = lu_worker_count(candidate_mu, wk.c, wk.w, p)
-        rows.append(
-            {
-                "mu": candidate_mu,
-                "P=ceil(mu*w/3c)": workers,
-                "makespan_est_s": lu_makespan_estimate(r, candidate_mu, wk.c, wk.w, p),
-            }
-        )
-    return rows
-
-
-def run_hetero_policies(r: int = 36) -> list[dict]:
-    """Chunk policies and the exhaustive pivot search on Table 2."""
+def _policies_point(params: Mapping) -> list[dict]:
+    """Chunk policies + exhaustive pivot search (couples all workers)."""
+    r = params["r"]
     platform = table2_platform()
     best_mu, best_time = best_pivot_size(platform, r)
     mus = chunk_sizes(platform)
@@ -116,6 +93,96 @@ def run_hetero_policies(r: int = 36) -> list[dict]:
             }
         )
     return rows
+
+
+def _simulation_point(params: Mapping) -> dict:
+    """Engine-simulated parallel LU for one µ."""
+    r, p, mu = params["r"], params["p"], params["mu"]
+    platform = ut_cluster_platform(p=p)
+    wk = platform.workers[0]
+    trace = simulate_parallel_lu(platform, r, mu)
+    return {
+        "mu": mu,
+        "workers": len(trace.enrolled_workers),
+        "sim_makespan_s": trace.makespan,
+        "estimate_s": lu_makespan_estimate(r, mu, wk.c, wk.w, p),
+        "port_util": trace.port_utilisation(0),
+    }
+
+
+def costs_sweep(mu: int = 8, r_values: tuple[int, ...] = (16, 32, 64, 128)) -> Sweep:
+    """Declare one cost-model point per ``r``."""
+    return Sweep(
+        name="lu-costs",
+        run_fn=_costs_point,
+        points=tuple({"r": r, "mu": mu} for r in r_values),
+        title="Section 7.1: LU cost model (block units)",
+    )
+
+
+def homogeneous_sweep(r: int = 196, p: int = 8) -> Sweep:
+    """Declare one point per candidate pivot size µ."""
+    platform = ut_cluster_platform(p=p)
+    mu = mu_overlap(platform.workers[0].m)
+    candidates = sorted(
+        {7, 14, 28, 49, 98, mu} & set(d for d in range(1, r + 1) if r % d == 0)
+    )
+    return Sweep(
+        name="lu-homogeneous",
+        run_fn=_homogeneous_point,
+        points=tuple({"r": r, "p": p, "mu": c} for c in candidates),
+        title="Section 7.2: homogeneous LU — workers and makespan estimates",
+    )
+
+
+def policies_sweep(r: int = 36) -> Sweep:
+    """Declare the single pivot-search point (all workers coupled)."""
+    return Sweep(
+        name="lu-policies",
+        run_fn=_policies_point,
+        points=({"r": r},),
+        title="Section 7.3: heterogeneous chunk policies (Table 2 platform)",
+    )
+
+
+def simulation_sweep(r: int = 56, p: int = 8) -> Sweep:
+    """Declare one simulated-LU point per µ dividing ``r``."""
+    return Sweep(
+        name="lu-simulation",
+        run_fn=_simulation_point,
+        points=tuple(
+            {"r": r, "p": p, "mu": mu} for mu in (7, 14, 28) if r % mu == 0
+        ),
+        title="Section 7.2: simulated parallel LU on the UT cluster",
+    )
+
+
+def campaign() -> Campaign:
+    """The four LU sweeps, in the order ``main()`` prints them."""
+    return Campaign(
+        "lu",
+        (costs_sweep(), homogeneous_sweep(), policies_sweep(), simulation_sweep()),
+    )
+
+
+def run_costs(mu: int = 8, r_values: tuple[int, ...] = (16, 32, 64, 128)) -> list[dict]:
+    """Exact totals vs closed forms for an ``r`` sweep."""
+    return run_sweep(costs_sweep(mu=mu, r_values=r_values)).rows
+
+
+def run_homogeneous(r: int = 196, p: int = 8) -> list[dict]:
+    """Worker counts and makespan estimates on the UT cluster."""
+    return run_sweep(homogeneous_sweep(r=r, p=p)).rows
+
+
+def run_hetero_policies(r: int = 36) -> list[dict]:
+    """Chunk policies and the exhaustive pivot search on Table 2."""
+    return run_sweep(policies_sweep(r=r)).rows
+
+
+def run_simulation(r: int = 56, p: int = 8) -> list[dict]:
+    """Engine-simulated parallel LU vs the closed-form estimate."""
+    return run_sweep(simulation_sweep(r=r, p=p)).rows
 
 
 def main() -> None:

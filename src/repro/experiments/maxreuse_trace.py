@@ -5,22 +5,28 @@ Re-creates the paper's worked example: ``m = 21`` buffers give
 MaxReuse scheduler on a 4×4-tile problem, prints the buffer split, the
 per-step data movement of the first outer iteration, and verifies the
 measured peak memory equals ``1 + µ + µ²``.
+
+A single-point sweep: the walk-through is one (m, t) evaluation.
 """
 
 from __future__ import annotations
+
+from typing import Mapping
 
 from repro.analysis.tables import format_table
 from repro.blocks.shape import ProblemShape
 from repro.core.layout import MemoryLayout
 from repro.engine import run_scheduler
 from repro.platform.model import Platform
+from repro.runner import Campaign, Sweep, run_sweep
 from repro.schedulers.maxreuse import MaxReuse
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "sweep", "campaign"]
 
 
-def run(m: int = 21, t: int = 4) -> dict:
-    """Run the m-buffer walk-through; returns layout and trace stats."""
+def _point(params: Mapping) -> dict:
+    """The m-buffer walk-through; returns layout and trace stats."""
+    m, t = params["m"], params["t"]
     layout = MemoryLayout.max_reuse(m)
     mu = layout.mu
     shape = ProblemShape(r=mu, s=mu, t=t, q=4)
@@ -39,6 +45,26 @@ def run(m: int = 21, t: int = 4) -> dict:
         "ccr": trace.ccr,
         "ccr_formula": 2.0 / t + 2.0 / mu,
     }
+
+
+def sweep(m: int = 21, t: int = 4) -> Sweep:
+    """Declare the single walk-through point."""
+    return Sweep(
+        name="maxreuse",
+        run_fn=_point,
+        points=({"m": m, "t": t},),
+        title=f"Figures 5/6: maximum re-use layout on m={m} buffers",
+    )
+
+
+def campaign() -> Campaign:
+    """The Figures 5/6 campaign (a single one-point sweep)."""
+    return Campaign("maxreuse", (sweep(),))
+
+
+def run(m: int = 21, t: int = 4) -> dict:
+    """Run the m-buffer walk-through; returns layout and trace stats."""
+    return run_sweep(sweep(m=m, t=t)).rows[0]
 
 
 def main() -> None:

@@ -6,9 +6,14 @@ enrolls both fully (throughput 0.75 updates/s).  But to ride out the
 80 s the master spends serving P2's chunk, P1 must hold ~40 blocks of
 A/B data — an order of magnitude beyond its buffers.  The table prints
 per-worker buffer demand vs capacity.
+
+A single-point sweep: the feasibility analysis couples all workers
+through the shared steady state, so the whole table is one evaluation.
 """
 
 from __future__ import annotations
+
+from typing import Mapping
 
 from repro.analysis.tables import format_table
 from repro.core.heterogeneous import (
@@ -17,12 +22,14 @@ from repro.core.heterogeneous import (
     simulate_bandwidth_centric_feasibility,
 )
 from repro.platform.named import table1_platform
+from repro.runner import Campaign, Sweep, run_sweep
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "sweep", "campaign"]
 
 
-def run() -> list[dict]:
+def _point(params: Mapping) -> list[dict]:
     """Rows: one per worker of the Table 1 platform."""
+    del params  # the Table 1 platform is fixed by the paper
     platform = table1_platform()
     mus = chunk_sizes(platform)
     steady = bandwidth_centric_steady_state(platform)
@@ -47,6 +54,26 @@ def run() -> list[dict]:
             }
         )
     return rows
+
+
+def sweep() -> Sweep:
+    """Declare the single Table 1 feasibility point."""
+    return Sweep(
+        name="table1",
+        run_fn=_point,
+        points=({"platform": "table1"},),
+        title="Table 1: bandwidth-centric steady state vs memory feasibility",
+    )
+
+
+def campaign() -> Campaign:
+    """The Table 1 campaign (a single one-point sweep)."""
+    return Campaign("table1", (sweep(),))
+
+
+def run() -> list[dict]:
+    """Rows: one per worker of the Table 1 platform."""
+    return run_sweep(sweep()).rows
 
 
 def main() -> None:

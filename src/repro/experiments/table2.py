@@ -12,10 +12,12 @@ the paper derives:
 * steady-state upper bound (no memory limits): 25/18 ≈ 1.39.
 
 ``run()`` reproduces all four numbers; ``main()`` also renders the two
-Gantt charts.
+Gantt charts.  One sweep point = one selection variant.
 """
 
 from __future__ import annotations
+
+from typing import Mapping
 
 from repro.analysis.gantt import gantt_selection
 from repro.analysis.tables import format_table
@@ -26,54 +28,81 @@ from repro.core.heterogeneous import (
     lookahead_selection,
 )
 from repro.platform.named import table2_platform
+from repro.runner import Campaign, Sweep, run_sweep
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "sweep", "campaign"]
 
 #: Large horizon used to estimate asymptotic ratios.
 _R, _S, _T = 10**6, 10**7, 10**6
 
 
-def run(steps: int = 2000, lookahead_depths: tuple[int, ...] = (2, 3)) -> list[dict]:
-    """Measure asymptotic ratios of every selection variant."""
+def _point(params: Mapping) -> dict:
+    """Asymptotic ratio of one selection variant on the Table 2 platform."""
     platform = table2_platform()
-    steady = bandwidth_centric_steady_state(platform)
-    rows = [
-        {
+    variant = params["variant"]
+    r, s, t = params["r"], params["s"], params["t"]
+    if variant == "steady":
+        steady = bandwidth_centric_steady_state(platform)
+        return {
             "algorithm": "steady-state bound",
             "ratio": steady.throughput,
             "paper": 1.39,
             "first_selections": "-",
         }
-    ]
-    g = global_selection(platform, _R, _S, _T, max_steps=steps)
-    rows.append(
-        {
+    if variant == "global":
+        g = global_selection(platform, r, s, t, max_steps=params["steps"])
+        return {
             "algorithm": "global (Algorithm 3)",
             "ratio": g.ratio,
             "paper": 1.17,
             "first_selections": "".join(map(str, g.sequence[:14])),
         }
-    )
-    l = local_selection(platform, _R, _S, _T, max_steps=steps)
-    rows.append(
-        {
+    if variant == "local":
+        l = local_selection(platform, r, s, t, max_steps=params["steps"])
+        return {
             "algorithm": "local",
             "ratio": l.ratio,
             "paper": 1.21,
             "first_selections": "".join(map(str, l.sequence[:14])),
         }
+    depth = params["depth"]
+    la = lookahead_selection(
+        platform, r, s, t, depth=depth, max_steps=params["steps"]
     )
+    return {
+        "algorithm": f"lookahead depth={depth}",
+        "ratio": la.ratio,
+        "paper": 1.30 if depth == 2 else float("nan"),
+        "first_selections": "".join(map(str, la.sequence[:14])),
+    }
+
+
+def sweep(
+    steps: int = 2000, lookahead_depths: tuple[int, ...] = (2, 3)
+) -> Sweep:
+    """Declare one point per selection variant, in the paper's order."""
+    base = {"r": _R, "s": _S, "t": _T, "steps": steps}
+    points: list[dict] = [{"variant": "steady", **base}]
+    points.append({"variant": "global", **base})
+    points.append({"variant": "local", **base})
     for depth in lookahead_depths:
-        la = lookahead_selection(platform, _R, _S, _T, depth=depth, max_steps=steps)
-        rows.append(
-            {
-                "algorithm": f"lookahead depth={depth}",
-                "ratio": la.ratio,
-                "paper": 1.30 if depth == 2 else float("nan"),
-                "first_selections": "".join(map(str, la.sequence[:14])),
-            }
-        )
-    return rows
+        points.append({"variant": "lookahead", "depth": depth, **base})
+    return Sweep(
+        name="table2",
+        run_fn=_point,
+        points=tuple(points),
+        title="Table 2 platform: computation-per-communication ratios",
+    )
+
+
+def campaign() -> Campaign:
+    """The Table 2 campaign (a single sweep)."""
+    return Campaign("table2", (sweep(),))
+
+
+def run(steps: int = 2000, lookahead_depths: tuple[int, ...] = (2, 3)) -> list[dict]:
+    """Measure asymptotic ratios of every selection variant."""
+    return run_sweep(sweep(steps=steps, lookahead_depths=lookahead_depths)).rows
 
 
 def main() -> None:

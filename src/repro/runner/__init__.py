@@ -1,0 +1,46 @@
+"""Unified sweep runner: declarative experiments, parallel fan-out, caching.
+
+The experiment modules declare their work as :class:`Sweep`\\ s (points +
+a pure per-point function) grouped into :class:`Campaign`\\ s;
+:func:`run_sweep` / :func:`run_campaign` execute them serially or across
+a process pool with results memoized in a content-addressed on-disk
+:class:`ResultCache`.  ``python -m repro sweep <name>`` is the CLI
+front-end; ``benchmarks/conftest.py`` reuses the same cache through
+:func:`cached_call`.
+"""
+
+from repro.runner.cache import (
+    CacheStats,
+    ResultCache,
+    cached_call,
+    default_cache_dir,
+)
+from repro.runner.hashing import canonical_params, code_version, point_key
+from repro.runner.sweep import (
+    Campaign,
+    CampaignResult,
+    PointOutcome,
+    Progress,
+    Sweep,
+    SweepResult,
+    run_campaign,
+    run_sweep,
+)
+
+__all__ = [
+    "CacheStats",
+    "Campaign",
+    "CampaignResult",
+    "PointOutcome",
+    "Progress",
+    "ResultCache",
+    "Sweep",
+    "SweepResult",
+    "cached_call",
+    "canonical_params",
+    "code_version",
+    "default_cache_dir",
+    "point_key",
+    "run_campaign",
+    "run_sweep",
+]

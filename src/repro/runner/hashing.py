@@ -1,0 +1,77 @@
+"""Stable content hashing for sweep points.
+
+Cache keys must be reproducible across processes and machines (Python's
+built-in ``hash`` is salted per process), and must change when the code
+that produced a result changes.  Keys are therefore SHA-256 digests of
+
+* the experiment (sweep) name,
+* the point's parameters, rendered as canonical JSON (sorted keys, no
+  whitespace, tuples coerced to lists, numpy scalars to Python ones),
+* a *code version* — a digest over every ``.py`` source file of the
+  :mod:`repro` package, so editing any module invalidates old entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = ["canonical_params", "code_version", "point_key"]
+
+
+def _coerce(value: Any) -> Any:
+    """JSON fallback for the scalar types sweeps are allowed to carry."""
+    for attr, cast in (("item", None), ("__float__", float), ("__int__", int)):
+        if hasattr(value, attr):
+            return value.item() if attr == "item" else cast(value)
+    raise TypeError(
+        f"sweep parameters must be JSON-serialisable scalars/lists/dicts, "
+        f"got {type(value).__name__}: {value!r}"
+    )
+
+
+def canonical_params(params: Mapping[str, Any]) -> str:
+    """Render ``params`` as canonical JSON (stable across processes)."""
+    return json.dumps(
+        params, sort_keys=True, separators=(",", ":"), default=_coerce
+    )
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of the installed :mod:`repro` package sources.
+
+    Any edit to any ``repro/**/*.py`` file yields a new version, so the
+    cache never serves results computed by stale code.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def point_key(
+    experiment: str, params: Mapping[str, Any], code: str | None = None
+) -> str:
+    """Content address of one sweep point.
+
+    Args:
+        experiment: sweep name (cache namespace).
+        params: the point's parameters (JSON-able mapping).
+        code: code-version override; defaults to :func:`code_version`.
+            Tests pass explicit values to simulate code changes.
+    """
+    payload = (
+        f'{{"code":"{code if code is not None else code_version()}",'
+        f'"experiment":{json.dumps(experiment)},'
+        f'"params":{canonical_params(params)}}}'
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()

@@ -1,0 +1,254 @@
+"""The declarative sweep runner.
+
+A :class:`Sweep` is a named list of parameter *points* plus a pure
+per-point function; a :class:`Campaign` is an ordered collection of
+sweeps (one experiment module may expose several, e.g. the LU study).
+:func:`run_sweep` fans the points out over a process pool, consults the
+content-addressed result cache first, streams progress back through a
+callback, and hands the ordered point results to the sweep's
+``aggregate`` hook to build the experiment's published rows.
+
+Design rules the experiment modules follow:
+
+* **points are data** — JSON-able mappings of scalars, so they hash
+  stably (:mod:`repro.runner.hashing`) and cross process boundaries;
+* **the point function is pure and top-level** — it rebuilds platform /
+  workload objects from the point's parameters, returns JSON-able
+  values, and is picklable by reference for the pool;
+* **aggregation is deterministic in point order** — results are always
+  delivered to ``aggregate`` in declaration order, so serial, parallel
+  and cached runs produce byte-identical rows.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.runner.cache import ResultCache
+from repro.runner.hashing import point_key
+from repro.runner.pool import parallel_map
+
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "PointOutcome",
+    "Progress",
+    "Sweep",
+    "SweepResult",
+    "run_campaign",
+    "run_sweep",
+]
+
+PointFn = Callable[[Mapping[str, Any]], Any]
+AggregateFn = Callable[[List[Any]], Any]
+
+
+def _normalize(value: Any) -> Any:
+    """JSON-round-trip a computed value so it matches its cached shape.
+
+    Cached points come back from disk JSON-decoded (tuples as lists,
+    non-string dict keys as strings); normalizing fresh results the
+    same way keeps cold, warm, and partially-warm runs byte-identical.
+    Values outside JSON (only possible in cache-less library use) pass
+    through untouched.
+    """
+    try:
+        return json.loads(json.dumps(value))
+    except (TypeError, ValueError):
+        return value
+
+
+def _concat(values: List[Any]) -> Any:
+    """Default aggregation: concatenate list results, else keep the list."""
+    if values and all(isinstance(v, list) for v in values):
+        rows: List[Any] = []
+        for v in values:
+            rows.extend(v)
+        return rows
+    return list(values)
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A named set of points evaluated by one pure function.
+
+    Attributes:
+        name: cache namespace and progress label (e.g. ``"fig10"``).
+        run_fn: top-level pure function mapping one point's parameters
+            to a JSON-able result.
+        points: the parameter mappings, in publication order.
+        aggregate: combines the ordered point results into the
+            experiment's rows; defaults to list concatenation.
+        title: heading used when the CLI prints the aggregated table.
+    """
+
+    name: str
+    run_fn: PointFn
+    points: Tuple[Mapping[str, Any], ...]
+    aggregate: Optional[AggregateFn] = None
+    title: Optional[str] = None
+
+    def rows(self, values: List[Any]) -> Any:
+        """Aggregated rows for point results ``values`` (in order)."""
+        return (self.aggregate or _concat)(values)
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """An ordered collection of sweeps run and reported together."""
+
+    name: str
+    sweeps: Tuple[Sweep, ...]
+
+
+@dataclass(frozen=True)
+class Progress:
+    """One progress event, emitted as each point resolves (in order)."""
+
+    sweep: str
+    index: int
+    total: int
+    params: Mapping[str, Any]
+    cached: bool
+    seconds: float
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """A resolved point: parameters, cache key (empty string when run
+    without a cache), value, provenance."""
+
+    params: Mapping[str, Any]
+    key: str
+    value: Any
+    cached: bool
+    seconds: float
+
+
+@dataclass
+class SweepResult:
+    """Everything :func:`run_sweep` learned about one sweep."""
+
+    name: str
+    outcomes: List[PointOutcome] = field(default_factory=list)
+    rows: Any = None
+    elapsed: float = 0.0
+    title: Optional[str] = None
+
+    @property
+    def hits(self) -> int:
+        """Points served from the cache."""
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def misses(self) -> int:
+        """Points actually computed this run."""
+        return len(self.outcomes) - self.hits
+
+
+@dataclass
+class CampaignResult:
+    """Ordered sweep results plus campaign-level totals."""
+
+    name: str
+    sweeps: List[SweepResult] = field(default_factory=list)
+
+    @property
+    def hits(self) -> int:
+        return sum(s.hits for s in self.sweeps)
+
+    @property
+    def misses(self) -> int:
+        return sum(s.misses for s in self.sweeps)
+
+    @property
+    def elapsed(self) -> float:
+        return sum(s.elapsed for s in self.sweeps)
+
+    @property
+    def tables(self) -> dict:
+        """Sweep name → aggregated rows."""
+        return {s.name: s.rows for s in self.sweeps}
+
+
+def run_sweep(
+    sweep: Sweep,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[Progress], None] | None = None,
+    code: str | None = None,
+) -> SweepResult:
+    """Evaluate every point of ``sweep``, cheapest source first.
+
+    Args:
+        sweep: the declaration to run.
+        jobs: worker processes for the cache-miss points (1 = inline).
+        cache: result cache, or ``None`` to recompute everything and
+            write nothing (the default — library callers like the
+            experiments' ``run()`` helpers stay side-effect free).
+        progress: callback fired once per point, in point order.
+        code: code-version override for the cache keys (tests only).
+
+    Point results reach ``sweep.aggregate`` in declaration order no
+    matter which points were cached or how many processes ran, so the
+    aggregated rows are identical across all execution modes.
+    """
+    start = time.perf_counter()
+    total = len(sweep.points)
+    keys = [point_key(sweep.name, p, code) for p in sweep.points] if cache else []
+    resolved: List[Optional[PointOutcome]] = [None] * total
+
+    missing: List[int] = []
+    for idx, params in enumerate(sweep.points):
+        if cache:
+            value, hit = cache.get(sweep.name, keys[idx])
+            if hit:
+                resolved[idx] = PointOutcome(params, keys[idx], value, True, 0.0)
+                continue
+        missing.append(idx)
+
+    miss_points = [sweep.points[i] for i in missing]
+    for slot, (value, seconds) in zip(
+        missing, parallel_map(sweep.run_fn, miss_points, jobs)
+    ):
+        value = _normalize(value)
+        key = keys[slot] if cache else ""
+        if cache:
+            cache.put(sweep.name, key, sweep.points[slot], value)
+        resolved[slot] = PointOutcome(sweep.points[slot], key, value, False, seconds)
+
+    result = SweepResult(name=sweep.name, title=sweep.title)
+    for idx, outcome in enumerate(resolved):
+        assert outcome is not None  # every slot is either cached or computed
+        result.outcomes.append(outcome)
+        if progress:
+            progress(
+                Progress(
+                    sweep=sweep.name,
+                    index=idx,
+                    total=total,
+                    params=outcome.params,
+                    cached=outcome.cached,
+                    seconds=outcome.seconds,
+                )
+            )
+    result.rows = sweep.rows([o.value for o in result.outcomes])
+    result.elapsed = time.perf_counter() - start
+    return result
+
+
+def run_campaign(
+    campaign: Campaign,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[Progress], None] | None = None,
+    code: str | None = None,
+) -> CampaignResult:
+    """Run every sweep of ``campaign`` in order; see :func:`run_sweep`."""
+    result = CampaignResult(name=campaign.name)
+    for sweep in campaign.sweeps:
+        result.sweeps.append(run_sweep(sweep, jobs, cache, progress, code))
+    return result

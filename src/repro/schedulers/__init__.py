@@ -50,12 +50,33 @@ __all__ = [
     "ODDOML",
     "OMMOML",
     "ORROML",
+    "SECTION8_SCHEDULERS",
     "StaticChunkScheduler",
     "all_section8_schedulers",
+    "section8_scheduler",
 ]
+
+#: The seven Section 8 algorithms by acronym, in the paper's order
+#: (optimized-layout group first, then Toledo group).
+SECTION8_SCHEDULERS = {
+    cls.name: cls for cls in (HoLM, ORROML, OMMOML, ODDOML, DDOML, BMM, OBMM)
+}
 
 
 def all_section8_schedulers() -> list:
     """Fresh instances of the seven algorithms of Section 8, in the
     paper's order (optimized-layout group first, then Toledo group)."""
-    return [HoLM(), ORROML(), OMMOML(), ODDOML(), DDOML(), BMM(), OBMM()]
+    return [cls() for cls in SECTION8_SCHEDULERS.values()]
+
+
+def section8_scheduler(name: str):
+    """Fresh instance of the Section 8 algorithm with acronym ``name``.
+
+    Sweep points carry algorithms by name (names are JSON-able and hash
+    stably); per-point functions rebuild the instance through this.
+    """
+    try:
+        return SECTION8_SCHEDULERS[name]()
+    except KeyError:
+        known = ", ".join(SECTION8_SCHEDULERS)
+        raise KeyError(f"unknown Section 8 algorithm {name!r} (known: {known})")

@@ -219,6 +219,11 @@ class TestSelectionInvariants:
         bound of the performance that can be achieved'."""
         sel = global_selection(platform, 10**5, 10**6, 10**5, max_steps=400)
         bound = bandwidth_centric_steady_state(platform).throughput
-        # The ratio's denominator is the *last communication* end, which
-        # excludes the final chunk's compute: allow the O(1/steps) tail.
-        assert sel.ratio <= bound * (1 + 2.0 / 400) + 1e-9
+        # The ratio's denominator is the *last communication* end, so each
+        # worker's final in-flight chunk contributes its work without its
+        # full span; that boundary term grows with the chunk side µ, so
+        # the tail allowance must too (a flat 2/steps is violated by
+        # platforms mixing µ=1 and µ=13 workers at 400 steps).
+        mu_max = max(chunk_sizes(platform))
+        tail = (2.0 + 2.0 * mu_max) / len(sel.sequence)
+        assert sel.ratio <= bound * (1 + tail) + 1e-9

@@ -1,0 +1,331 @@
+"""Tests for the unified sweep runner (repro.runner).
+
+Covers the ISSUE-1 acceptance surface: cache hit/miss semantics, hash
+stability across processes, parallel-vs-serial result equality,
+corrupted-cache-entry recovery, and the guarantee that a warm cache
+never re-invokes the per-point function.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.experiments import campaign_for, fig10
+from repro.runner import (
+    Campaign,
+    ResultCache,
+    Sweep,
+    cached_call,
+    canonical_params,
+    code_version,
+    point_key,
+    run_campaign,
+    run_sweep,
+)
+
+
+def _counting_point(params):
+    """Pure point fn that tallies invocations in an append-only file."""
+    with open(params["counter"], "a") as fh:
+        fh.write("x")
+    return {"x": params["x"], "square": params["x"] ** 2}
+
+
+def _calls(counter: Path) -> int:
+    return len(counter.read_text()) if counter.exists() else 0
+
+
+def _counting_sweep(tmp_path: Path, n: int = 4, name: str = "counting") -> Sweep:
+    tmp_path.mkdir(parents=True, exist_ok=True)
+    counter = tmp_path / "calls.txt"
+    points = tuple({"x": x, "counter": str(counter)} for x in range(n))
+    return Sweep(name=name, run_fn=_counting_point, points=points)
+
+
+class TestHashing:
+    def test_key_is_deterministic(self):
+        params = {"a": 1, "b": [1, 2], "c": "x"}
+        assert point_key("e", params, code="c0") == point_key("e", params, code="c0")
+
+    def test_key_ignores_dict_order(self):
+        assert point_key("e", {"a": 1, "b": 2}, code="c0") == point_key(
+            "e", {"b": 2, "a": 1}, code="c0"
+        )
+
+    def test_key_separates_experiments_params_code(self):
+        base = point_key("e", {"a": 1}, code="c0")
+        assert point_key("f", {"a": 1}, code="c0") != base
+        assert point_key("e", {"a": 2}, code="c0") != base
+        assert point_key("e", {"a": 1}, code="c1") != base
+
+    def test_canonical_params_rejects_non_json(self):
+        with pytest.raises(TypeError):
+            canonical_params({"fn": lambda: None})
+
+    def test_code_version_is_short_hex(self):
+        version = code_version()
+        assert len(version) == 16
+        int(version, 16)
+
+    def test_key_stable_across_processes(self):
+        """sha256 of canonical JSON must not depend on the process."""
+        params = {"d": 2.5, "c": "x", "b": [1, 2], "a": 1}
+        expected = point_key("exp", params, code="deadbeef")
+        src_dir = str(Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        script = (
+            "from repro.runner.hashing import point_key;"
+            "print(point_key('exp',"
+            " {'a': 1, 'b': [1, 2], 'c': 'x', 'd': 2.5}, code='deadbeef'))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert out.stdout.strip() == expected
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("s", "k1", {"a": 1}, [{"row": 1}])
+        value, hit = cache.get("s", "k1")
+        assert hit and value == [{"row": 1}]
+
+    def test_missing_is_miss(self, tmp_path):
+        _, hit = ResultCache(tmp_path).get("s", "nope")
+        assert not hit
+
+    def test_corrupted_entry_is_healed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("s", "k1", {}, {"ok": True})
+        path = cache.path_for("s", "k1")
+        path.write_text("{truncated garbage")
+        _, hit = cache.get("s", "k1")
+        assert not hit
+        assert not path.exists()  # healed: bad entry removed
+
+    def test_key_mismatch_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("s", "k1", {}, {"ok": True})
+        entry = json.loads(cache.path_for("s", "k1").read_text())
+        entry["key"] = "tampered"
+        cache.path_for("s", "k1").write_text(json.dumps(entry))
+        _, hit = cache.get("s", "k1")
+        assert not hit
+
+    def test_put_is_atomic_no_temp_left(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("s", "k1", {}, list(range(100)))
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_put_rejects_unserializable(self, tmp_path):
+        with pytest.raises(TypeError):
+            ResultCache(tmp_path).put("s", "k1", {}, object())
+
+    def test_stats_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("s1", "k1", {}, 1)
+        cache.put("s2", "k2", {}, 2)
+        stats = cache.stats()
+        assert stats.entries == 2 and stats.sweeps == ("s1", "s2")
+        assert cache.clear("s1") == 1
+        assert cache.stats().entries == 1
+        assert cache.clear() == 1
+        assert cache.stats().entries == 0
+
+
+class TestRunSweep:
+    def test_cold_run_computes_every_point(self, tmp_path):
+        sweep = _counting_sweep(tmp_path)
+        result = run_sweep(sweep, cache=ResultCache(tmp_path / "cache"))
+        assert result.misses == 4 and result.hits == 0
+        assert _calls(tmp_path / "calls.txt") == 4
+        assert [r["square"] for r in result.rows] == [0, 1, 4, 9]
+
+    def test_warm_run_never_calls_point_fn(self, tmp_path):
+        sweep = _counting_sweep(tmp_path)
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_sweep(sweep, cache=cache)
+        warm = run_sweep(sweep, cache=cache)
+        assert warm.hits == 4 and warm.misses == 0
+        assert _calls(tmp_path / "calls.txt") == 4  # unchanged: zero re-runs
+        assert warm.rows == cold.rows
+
+    def test_no_cache_always_computes(self, tmp_path):
+        sweep = _counting_sweep(tmp_path)
+        run_sweep(sweep)
+        run_sweep(sweep)
+        assert _calls(tmp_path / "calls.txt") == 8
+
+    def test_code_version_change_invalidates(self, tmp_path):
+        sweep = _counting_sweep(tmp_path)
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(sweep, cache=cache, code="v1")
+        second = run_sweep(sweep, cache=cache, code="v2")
+        assert second.misses == 4
+        assert _calls(tmp_path / "calls.txt") == 8
+
+    def test_parallel_matches_serial(self, tmp_path):
+        serial = run_sweep(_counting_sweep(tmp_path / "a", n=6))
+        parallel = run_sweep(_counting_sweep(tmp_path / "b", n=6), jobs=3)
+        strip = lambda rows: json.dumps(rows)  # noqa: E731
+        assert strip(parallel.rows) == strip(serial.rows)
+        assert _calls(tmp_path / "b" / "calls.txt") == 6
+
+    def test_parallel_fills_cache_for_serial(self, tmp_path):
+        sweep = _counting_sweep(tmp_path, n=6)
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(sweep, jobs=3, cache=cache)
+        warm = run_sweep(sweep, jobs=1, cache=cache)
+        assert warm.hits == 6
+        assert _calls(tmp_path / "calls.txt") == 6
+
+    def test_corrupted_entry_recovery_end_to_end(self, tmp_path):
+        sweep = _counting_sweep(tmp_path)
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_sweep(sweep, cache=cache)
+        victim = cache.path_for(sweep.name, cold.outcomes[2].key)
+        victim.write_text("not json at all")
+        healed = run_sweep(sweep, cache=cache)
+        assert healed.hits == 3 and healed.misses == 1
+        assert healed.rows == cold.rows
+        _, hit = cache.get(sweep.name, cold.outcomes[2].key)
+        assert hit  # the repaired entry is valid again
+
+    def test_progress_streams_in_point_order(self, tmp_path):
+        sweep = _counting_sweep(tmp_path)
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(sweep, cache=cache)
+        events = []
+        run_sweep(sweep, cache=cache, progress=events.append)
+        assert [e.index for e in events] == [0, 1, 2, 3]
+        assert all(e.cached and e.total == 4 for e in events)
+
+    def test_campaign_totals(self, tmp_path):
+        campaign = Campaign(
+            "both",
+            (
+                _counting_sweep(tmp_path / "a", n=2, name="a"),
+                _counting_sweep(tmp_path / "b", n=3, name="b"),
+            ),
+        )
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_campaign(campaign, cache=cache)
+        assert cold.misses == 5 and cold.hits == 0
+        warm = run_campaign(campaign, cache=cache)
+        assert warm.hits == 5 and warm.misses == 0
+        assert list(warm.tables) == ["a", "b"]
+
+
+class TestFig10Acceptance:
+    """ISSUE 1 acceptance: parallel == serial bytes; warm cache = 0 runs."""
+
+    def test_parallel_cached_run_matches_serial_and_warms(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        sweep = fig10.sweep(scale=8)
+        serial_rows = fig10.run(scale=8)
+
+        cold = run_sweep(sweep, jobs=4, cache=cache)
+        assert json.dumps(cold.rows) == json.dumps(serial_rows)
+        assert cold.misses == len(sweep.points)
+
+        def forbidden(params):
+            raise AssertionError("per-point function called on a warm cache")
+
+        warm_sweep = Sweep(
+            name=sweep.name,
+            run_fn=forbidden,
+            points=sweep.points,
+            aggregate=sweep.aggregate,
+            title=sweep.title,
+        )
+        warm = run_sweep(warm_sweep, jobs=4, cache=cache)
+        assert warm.hits == len(sweep.points) and warm.misses == 0
+        assert json.dumps(warm.rows) == json.dumps(serial_rows)
+
+
+class TestCachedCall:
+    def test_memoizes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        calls = []
+        fn = lambda x: (calls.append(x), x * 2)[1]  # noqa: E731
+        assert cached_call("t", fn, 21, cache=cache) == 42
+        assert cached_call("t", fn, 21, cache=cache) == 42
+        assert calls == [21]
+
+    def test_unserializable_results_pass_through(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fn = lambda: object()  # noqa: E731
+        first = cached_call("t", fn, cache=cache)
+        second = cached_call("t", fn, cache=cache)
+        assert first is not second  # computed each time, never cached
+        assert cache.stats().entries == 0
+
+
+class TestCampaignRegistry:
+    def test_every_experiment_has_a_campaign(self):
+        from repro.experiments import ALL_EXPERIMENTS
+
+        for name in ALL_EXPERIMENTS:
+            campaign = campaign_for(name)
+            assert campaign.sweeps, name
+            for sweep in campaign.sweeps:
+                assert sweep.points, f"{name}:{sweep.name}"
+                for params in sweep.points:
+                    json.dumps(params)  # points must be JSON-able data
+
+    def test_scale_forwarded_where_supported(self):
+        scaled = campaign_for("fig10", scale=8)
+        assert all("/8" in p["workload"] for p in scaled.sweeps[0].points)
+        # fig04 has no scale parameter; passing one must not break it.
+        assert campaign_for("fig04", scale=8).sweeps
+
+
+class TestSweepCLI:
+    def test_sweep_unknown_name_exits_2(self, capsys):
+        from repro.__main__ import main as cli_main
+
+        assert cli_main(["sweep", "nonsense"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_sweep_runs_and_warms(self, tmp_path, capsys):
+        from repro.__main__ import main as cli_main
+
+        argv = ["sweep", "maxreuse", "--cache-dir", str(tmp_path), "--quiet"]
+        assert cli_main(argv) == 0
+        cold_out = capsys.readouterr().out
+        assert "maxreuse: 0 cached, 1 computed" in cold_out
+        assert cli_main(argv) == 0
+        warm_out = capsys.readouterr().out
+        assert "maxreuse: 1 cached, 0 computed" in warm_out
+
+    def test_sweep_no_cache_writes_nothing(self, tmp_path, capsys):
+        from repro.__main__ import main as cli_main
+
+        argv = [
+            "sweep", "maxreuse", "--cache-dir", str(tmp_path),
+            "--no-cache", "--quiet",
+        ]
+        assert cli_main(argv) == 0
+        assert "cache disabled" in capsys.readouterr().out
+        assert not list(tmp_path.rglob("*.json"))
+
+    def test_cache_info_and_clear(self, tmp_path, capsys):
+        from repro.__main__ import main as cli_main
+
+        ResultCache(tmp_path).put("s", "k", {}, 1)
+        assert cli_main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        assert "entries   : 1" in capsys.readouterr().out
+        assert cli_main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert ResultCache(tmp_path).stats().entries == 0
