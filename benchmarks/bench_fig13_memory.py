@@ -1,6 +1,6 @@
 """Figure 13 — impact of the worker memory size (132–512 MB)."""
 
-from conftest import one_shot
+from conftest import at_paper_scale, one_shot
 
 from repro.analysis import format_table
 from repro.experiments import fig13
@@ -10,6 +10,9 @@ def test_fig13_memory_sweep(benchmark):
     rows = one_shot(benchmark, fig13.run, scale=1)
     print()
     print(format_table(rows, title="Figure 13: impact of worker memory"))
+    assert len(rows) % 7 == 0 and rows  # one row per (memory, algorithm)
+    if not at_paper_scale():
+        return  # the Section 8.4 claims below hold at publication scale
     by_algo: dict = {}
     for row in rows:
         by_algo.setdefault(row["algorithm"], []).append(row)

@@ -1,0 +1,59 @@
+"""Gate: the fast engine must beat the DES on the Figure 10 size sweep.
+
+Consumes two pytest-benchmark JSON files (one per ``--engine`` run of
+the benchmark suite) and compares the wall-clock of the Figure 10
+benchmark — the paper's headline experiment and the ISSUE's reference
+workload.  Exits non-zero when the fast engine is not faster.
+
+Usage::
+
+    python benchmarks/check_engine_speedup.py FAST.json DES.json [MIN_SPEEDUP]
+
+``MIN_SPEEDUP`` defaults to 1.0; the gate requires ``speedup >
+MIN_SPEEDUP`` (strictly), so a tie fails.  The CI bench-smoke
+job runs the suite at the smallest scale, where fixed per-run overheads
+weigh heaviest; the measured margin there is still ~4×, so the
+single-measured-round comparison has ample headroom over CI runner
+noise.  At the paper's default scale the measured speedup is
+substantially higher (≥5× — see docs/performance.md).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+BENCH = "test_fig10_full_scale"
+
+
+def _mean_seconds(path: str, name: str) -> float:
+    with open(path) as fh:
+        data = json.load(fh)
+    for bench in data["benchmarks"]:
+        if bench["name"] == name:
+            return float(bench["stats"]["mean"])
+    raise SystemExit(f"{path}: no benchmark named {name!r}")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) not in (3, 4):
+        print(__doc__)
+        return 2
+    fast_path, des_path = argv[1], argv[2]
+    min_speedup = float(argv[3]) if len(argv) == 4 else 1.0
+    fast = _mean_seconds(fast_path, BENCH)
+    des = _mean_seconds(des_path, BENCH)
+    speedup = des / fast if fast > 0 else float("inf")
+    print(
+        f"{BENCH}: fast={fast * 1000:.1f} ms  des={des * 1000:.1f} ms  "
+        f"speedup={speedup:.2f}x (required > {min_speedup:g}x)"
+    )
+    if speedup <= min_speedup:
+        print("FAIL: the fast engine is not faster than the DES")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

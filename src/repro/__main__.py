@@ -7,6 +7,7 @@ Usage::
     python -m repro all               # run everything (slow)
     python -m repro sweep fig10 --jobs 4        # parallel + cached
     python -m repro sweep all --jobs 8 --scale 8
+    python -m repro sweep fig10 --engine des    # force the DES oracle
     python -m repro cache info        # cache location, entries, size
     python -m repro cache clear       # drop every cached result
 
@@ -36,7 +37,7 @@ def _print_experiment_list() -> None:
     print("  all        run every experiment in sequence")
     print(
         "\nSubcommands:\n"
-        "  sweep NAME [--jobs N] [--no-cache] [--cache-dir D] [--scale K]\n"
+        "  sweep NAME [--jobs N] [--no-cache] [--cache-dir D] [--scale K]\n             [--engine fast|des]\n"
         "             run NAME's campaign through the parallel cached runner\n"
         "  cache [info|clear] [--cache-dir D]\n"
         "             inspect or empty the sweep result cache"
@@ -72,6 +73,11 @@ def _cmd_sweep(argv: list[str]) -> int:
         help="divide matrix dimensions by K where supported (quick runs)",
     )
     parser.add_argument(
+        "--engine", choices=("fast", "des"), default="fast",
+        help="simulation backend: the event-free fast timeline engine "
+             "(default) or the discrete-event kernel (reference oracle)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-point progress lines"
     )
     try:
@@ -97,7 +103,7 @@ def _cmd_sweep(argv: list[str]) -> int:
 
     for name in names:
         result = run_campaign(
-            campaign_for(name, scale=args.scale),
+            campaign_for(name, scale=args.scale, engine=args.engine),
             jobs=args.jobs,
             cache=cache,
             progress=progress,

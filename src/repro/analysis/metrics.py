@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.engine.trace import Trace
 
 __all__ = ["TraceSummary", "summarize_trace"]
@@ -33,17 +35,52 @@ class TraceSummary:
 
 
 def summarize_trace(trace: Trace) -> TraceSummary:
-    """Condense a trace into a :class:`TraceSummary`."""
-    used = trace.enrolled_workers
+    """Condense a trace into a :class:`TraceSummary`.
+
+    Vectorised over the trace's memoized column arrays (shared with the
+    invariant checks).  The naive property-by-property route re-walks
+    the interval lists once per metric (and once per worker for the
+    utilisations), which at sweep scale costs as much as the simulation
+    itself.
+    """
+    comms = trace.comms
+    computes = trace.computes
+    if comms:
+        _, c_start, c_end, c_blocks, c_port = trace.comm_columns()
+        comm_blocks = int(c_blocks.sum())
+        on_port0 = c_port == 0
+        port0_busy = float(np.sum(c_end[on_port0] - c_start[on_port0]))
+        last_comm = float(c_end.max())
+    else:
+        comm_blocks = 0
+        port0_busy = 0.0
+        last_comm = 0.0
+    if computes:
+        k_worker, k_start, k_end, k_updates = trace.compute_columns()
+        updates = int(k_updates.sum())
+        busy = np.bincount(k_worker, weights=k_end - k_start)
+        did_update = np.bincount(k_worker, weights=k_updates) > 0
+        used = np.nonzero(did_update)[0]
+        last_comp = float(k_end.max())
+    else:
+        updates = 0
+        used = np.empty(0, dtype=np.int64)
+        busy = np.empty(0)
+        last_comp = 0.0
+    if updates == 0:
+        raise ValueError("no computation recorded; CCR undefined")
+    makespan = max(last_comm, last_comp)
     mean_util = (
-        sum(trace.worker_utilisation(w) for w in used) / len(used) if used else 0.0
+        float(np.sum(busy[used])) / makespan / len(used)
+        if len(used) and makespan > 0
+        else 0.0
     )
     return TraceSummary(
-        makespan=trace.makespan,
-        comm_blocks=trace.comm_blocks,
-        updates=trace.total_updates,
-        ccr=trace.ccr,
+        makespan=makespan,
+        comm_blocks=comm_blocks,
+        updates=updates,
+        ccr=comm_blocks / updates,
         workers_used=len(used),
-        port_utilisation=trace.port_utilisation(0),
+        port_utilisation=port0_busy / makespan if makespan > 0 else 0.0,
         mean_worker_utilisation=mean_util,
     )

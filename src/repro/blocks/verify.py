@@ -37,16 +37,61 @@ def verify_product(
     c0: BlockMatrix,
     c_result: BlockMatrix,
     rtol: float = 1e-10,
+    method: str = "dense",
+    rounds: int = 16,
+    seed: int = 0,
 ) -> bool:
     """True when ``c_result == c0 + a·b`` up to relative tolerance.
 
-    The tolerance is scaled by the reference's infinity norm so that large
-    inner dimensions (many accumulated updates) do not trip spurious
-    failures.
+    Two verification methods:
+
+    * ``"dense"`` — compute the full reference product ``c0 + a·b`` and
+      compare elementwise (O(n·m·k) work, exact localisation).
+    * ``"freivalds"`` — Freivalds' randomized check: for random vectors
+      ``x`` test ``c_result·x ≈ c0·x + a·(b·x)``, which needs only
+      matrix-vector products (O(n·m) per round).  A wrong product
+      passes one round with probability < 1/2 even against adversarial
+      errors (for random sign vectors), so ``rounds`` independent
+      vectors drive the false-accept probability below ``2**-rounds``;
+      use it to verify large executed schedules without paying for a
+      second dense multiplication.
+
+    The tolerance is scaled by a norm estimate of the reference so that
+    large inner dimensions (many accumulated updates) do not trip
+    spurious failures.
     """
-    reference = c0.array + a.array @ b.array
-    scale = max(1.0, float(np.abs(reference).max()))
-    return bool(np.allclose(c_result.array, reference, rtol=rtol, atol=rtol * scale))
+    if method == "dense":
+        reference = c0.array + a.array @ b.array
+        scale = max(1.0, float(np.abs(reference).max()))
+        return bool(
+            np.allclose(c_result.array, reference, rtol=rtol, atol=rtol * scale)
+        )
+    if method != "freivalds":
+        raise ValueError(f"unknown method {method!r} (dense or freivalds)")
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    rng = np.random.default_rng(seed)
+    aa, ba, ca, ra = a.array, b.array, c0.array, c_result.array
+    cols = ra.shape[1]
+    # Magnitude scale of the accumulated entries, without forming the
+    # dense product: |C0| + |A|·|B| row/column norms bound each entry.
+    scale = max(
+        1.0,
+        float(np.abs(ca).max(initial=0.0)),
+        float(np.abs(aa).max(initial=0.0))
+        * float(np.abs(ba).max(initial=0.0))
+        * aa.shape[1],
+    )
+    for _ in range(rounds):
+        x = rng.choice((-1.0, 1.0), size=cols)
+        lhs = ra @ x
+        rhs = ca @ x + aa @ (ba @ x)
+        # Each component accumulates ~cols signed terms: allow sqrt-of-
+        # length growth on top of the entry scale.
+        tol = rtol * scale * max(1.0, cols) ** 0.5
+        if not np.allclose(lhs, rhs, rtol=rtol, atol=tol):
+            return False
+    return True
 
 
 def max_block_error(

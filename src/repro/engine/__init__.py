@@ -18,19 +18,30 @@ CCR, utilisation and Gantt charts are derived.  When real
 :class:`~repro.blocks.BlockMatrix` data is attached, the engine also
 performs the numerical block updates so tests can verify that the
 schedule really computes ``C + A·B``.
+
+Two byte-identical backends run the timeline — the event-free fast
+scan of :mod:`repro.engine.fast` (default) and the discrete-event
+kernel (the reference oracle); select with
+``run_scheduler(..., engine="fast"|"des")``.  See
+``docs/performance.md``.
 """
 
 from repro.engine.chunks import Chunk, Phase, tile_chunks, toledo_chunks
-from repro.engine.engine import Engine, run_scheduler
+from repro.engine.engine import ENGINES, Engine, run_scheduler
+from repro.engine.fast import FastEngine, FastEngineUnsupported, run_fast
 from repro.engine.trace import CommInterval, ComputeInterval, Trace
 
 __all__ = [
+    "ENGINES",
     "Chunk",
     "CommInterval",
     "ComputeInterval",
     "Engine",
+    "FastEngine",
+    "FastEngineUnsupported",
     "Phase",
     "Trace",
+    "run_fast",
     "run_scheduler",
     "tile_chunks",
     "toledo_chunks",

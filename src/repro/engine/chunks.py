@@ -19,16 +19,22 @@ numeric execution reduces to contiguous numpy slice updates
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from functools import cached_property, lru_cache
+from operator import itemgetter
+from typing import Iterator, NamedTuple, Sequence
 
 from repro.blocks.shape import ProblemShape
 
 __all__ = ["Phase", "Chunk", "tile_chunks", "toledo_chunks", "check_chunk_cover"]
 
 
-@dataclass(frozen=True)
-class Phase:
+class Phase(NamedTuple):
     """One delivery-plus-update step of a chunk.
+
+    A ``NamedTuple``: layouts materialise one ``Phase`` per inner-k step
+    of every chunk (hundreds of thousands for sweep-scale instances), so
+    construction cost and per-field access in the engines' inner loops
+    both matter.
 
     Attributes:
         k_range: half-open block range of the inner dimension covered.
@@ -57,6 +63,11 @@ class Phase:
 class Chunk:
     """A tile of C assigned to one worker, with its phase decomposition.
 
+    Chunks are immutable after construction, so the derived totals and
+    per-phase labels below are ``cached_property``s: scheduler inner
+    loops (min-min cost estimates, the engines' transfer bookkeeping)
+    read them once per chunk instead of re-summing per access.
+
     Attributes:
         row_range: half-open block-row range of the C tile.
         col_range: half-open block-column range of the C tile.
@@ -77,20 +88,57 @@ class Chunk:
         """Tile width in blocks."""
         return self.col_range[1] - self.col_range[0]
 
-    @property
+    @cached_property
     def c_blocks(self) -> int:
         """Number of C blocks in the tile."""
         return self.rows * self.cols
 
-    @property
+    @cached_property
     def updates(self) -> int:
         """Total block updates over all phases."""
-        return sum(ph.updates for ph in self.phases)
+        return sum(map(_get_updates, self.phases))
 
-    @property
+    @cached_property
     def comm_blocks(self) -> int:
         """Total blocks moved for this chunk: C in + A/B in + C out."""
-        return 2 * self.c_blocks + sum(ph.in_blocks for ph in self.phases)
+        return 2 * self.c_blocks + sum(
+            map(_get_a, self.phases)
+        ) + sum(map(_get_b, self.phases))
+
+    @cached_property
+    def ab_labels(self) -> tuple[str, ...]:
+        """Per-phase labels of the A/B delivery transfers."""
+        memo = _AB_LABELS
+        labels = []
+        for ph in self.phases:
+            kr = ph.k_range
+            label = memo.get(kr)
+            if label is None:
+                label = memo[kr] = f"AB[{kr[0]}:{kr[1]})"
+            labels.append(label)
+        return tuple(labels)
+
+    @cached_property
+    def upd_labels(self) -> tuple[str, ...]:
+        """Per-phase labels of the compute intervals."""
+        memo = _UPD_LABELS
+        labels = []
+        for ph in self.phases:
+            kr = ph.k_range
+            label = memo.get(kr)
+            if label is None:
+                label = memo[kr] = f"upd[{kr[0]}:{kr[1]})"
+            labels.append(label)
+        return tuple(labels)
+
+
+#: Interned label strings, shared across every chunk touching the same
+#: inner-k range (tiles of one problem all stream the same k sequence).
+_AB_LABELS: dict[tuple[int, int], str] = {}
+_UPD_LABELS: dict[tuple[int, int], str] = {}
+
+#: C-level field extractors over the Phase tuples.
+_get_a, _get_b, _get_updates = itemgetter(1), itemgetter(2), itemgetter(3)
 
 
 def _ranges(total: int, width: int) -> list[tuple[int, int]]:
@@ -100,24 +148,36 @@ def _ranges(total: int, width: int) -> list[tuple[int, int]]:
     return [(lo, min(lo + width, total)) for lo in range(0, total, width)]
 
 
-def _build_chunks(shape: ProblemShape, tile: int, k_width: int) -> list[Chunk]:
+@lru_cache(maxsize=32)
+def _build_chunks_cached(
+    r: int, s: int, t: int, tile: int, k_width: int
+) -> tuple[Chunk, ...]:
     chunks: list[Chunk] = []
-    k_ranges = _ranges(shape.t, k_width)
-    for col_range in _ranges(shape.s, tile):
-        for row_range in _ranges(shape.r, tile):
+    k_widths = [(kr, kr[1] - kr[0]) for kr in _ranges(t, k_width)]
+    tnew = tuple.__new__
+    for col_range in _ranges(s, tile):
+        cols = col_range[1] - col_range[0]
+        for row_range in _ranges(r, tile):
             rows = row_range[1] - row_range[0]
-            cols = col_range[1] - col_range[0]
+            rc = rows * cols
+            # tuple.__new__ bypasses the generated NamedTuple __new__;
+            # sweep-scale instances build hundreds of thousands of
+            # phases, so constructor overhead is visible end to end.
             phases = tuple(
-                Phase(
-                    k_range=kr,
-                    a_blocks=rows * (kr[1] - kr[0]),
-                    b_blocks=(kr[1] - kr[0]) * cols,
-                    updates=rows * cols * (kr[1] - kr[0]),
-                )
-                for kr in k_ranges
+                tnew(Phase, (kr, rows * dk, dk * cols, rc * dk, None))
+                for kr, dk in k_widths
             )
             chunks.append(Chunk(row_range, col_range, phases))
-    return chunks
+    return tuple(chunks)
+
+
+def _build_chunks(shape: ProblemShape, tile: int, k_width: int) -> list[Chunk]:
+    # Memoized on the grid geometry: within one experiment sweep many
+    # (workload, algorithm) points share a tiling (e.g. every overlap-
+    # layout algorithm at the same memory size), and chunks are
+    # immutable, so they are built once.  A fresh list is returned so
+    # callers may reorder/slice freely.
+    return list(_build_chunks_cached(shape.r, shape.s, shape.t, tile, k_width))
 
 
 def tile_chunks(shape: ProblemShape, mu: int) -> list[Chunk]:

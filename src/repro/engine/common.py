@@ -1,0 +1,39 @@
+"""Shared helpers of the two engine backends.
+
+Both engines promise *byte-identical* observable behaviour — including
+error messages — so the strings and validations they share live here
+instead of being copied between :mod:`repro.engine.engine` and
+:mod:`repro.engine.fast`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.blocks.matrix import BlockMatrix
+    from repro.blocks.shape import ProblemShape
+
+__all__ = ["memory_exceeded", "validate_block_data"]
+
+
+def memory_exceeded(widx: int, used: int, cap: int, now: float) -> RuntimeError:
+    """The error raised when worker ``widx`` (0-based) overruns ``m_i``."""
+    return RuntimeError(
+        f"worker P{widx + 1} memory exceeded: "
+        f"{used} > {cap} blocks at t={now:g}"
+    )
+
+
+def validate_block_data(
+    data: "tuple[BlockMatrix, BlockMatrix, BlockMatrix]",
+    shape: "ProblemShape",
+) -> None:
+    """Check that attached ``(A, B, C)`` matrices match ``shape``'s grids."""
+    a, b, c = data
+    if a.block_shape != (shape.r, shape.t):
+        raise ValueError(f"A grid {a.block_shape} != ({shape.r},{shape.t})")
+    if b.block_shape != (shape.t, shape.s):
+        raise ValueError(f"B grid {b.block_shape} != ({shape.t},{shape.s})")
+    if c.block_shape != (shape.r, shape.s):
+        raise ValueError(f"C grid {c.block_shape} != ({shape.r},{shape.s})")

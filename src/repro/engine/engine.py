@@ -23,12 +23,19 @@ from typing import Generator, Iterable, Optional, Protocol, Sequence
 from repro.blocks.matrix import BlockMatrix
 from repro.blocks.shape import ProblemShape
 from repro.engine.chunks import Chunk, Phase
+from repro.engine.common import memory_exceeded, validate_block_data
+from repro.engine.fast import FastEngineUnsupported, run_fast
 from repro.engine.trace import CommInterval, ComputeInterval, Trace
 from repro.platform.model import Platform
 from repro.sim.core import Environment
 from repro.sim.resources import Resource
 
-__all__ = ["Engine", "ChunkQueue", "run_scheduler", "SchedulerProtocol"]
+__all__ = ["ENGINES", "Engine", "ChunkQueue", "run_scheduler", "SchedulerProtocol"]
+
+#: Selectable simulation engines: the event-free fast timeline scan
+#: (default) and the generator-based discrete-event kernel (the
+#: reference oracle).  Both produce byte-identical traces.
+ENGINES = ("fast", "des")
 
 
 class ChunkQueue:
@@ -75,13 +82,7 @@ class Engine:
         self._mem_used = [0] * p
         self._pending_free: list[list[tuple[float, int]]] = [[] for _ in range(p)]
         if data is not None:
-            a, b, c = data
-            if a.block_shape != (shape.r, shape.t):
-                raise ValueError(f"A grid {a.block_shape} != ({shape.r},{shape.t})")
-            if b.block_shape != (shape.t, shape.s):
-                raise ValueError(f"B grid {b.block_shape} != ({shape.t},{shape.s})")
-            if c.block_shape != (shape.r, shape.s):
-                raise ValueError(f"C grid {c.block_shape} != ({shape.r},{shape.s})")
+            validate_block_data(data, shape)
 
     # -- memory bookkeeping (lazy release keeps peaks exact) -----------------
     def _release_expired(self, widx: int) -> None:
@@ -103,9 +104,8 @@ class Engine:
         if self.check_memory:
             cap = self.platform.workers[widx].m
             if self._mem_used[widx] > cap:
-                raise RuntimeError(
-                    f"worker P{widx + 1} memory exceeded: "
-                    f"{self._mem_used[widx]} > {cap} blocks at t={self.env.now:g}"
+                raise memory_exceeded(
+                    widx, self._mem_used[widx], cap, self.env.now
                 )
 
     def free_at(self, widx: int, blocks: int, when: float) -> None:
@@ -188,16 +188,16 @@ class Engine:
         self.alloc(widx, chunk.c_blocks)
         yield from self.send(widx, chunk.c_blocks, label="C-in")
         ends: list[float] = []
+        ab_labels, upd_labels = chunk.ab_labels, chunk.upd_labels
         for idx, phase in enumerate(chunk.phases):
             if idx >= generation_gap:
                 yield from self.wait_until(ends[idx - generation_gap])
             self.alloc(widx, phase.in_blocks)
             arrival = yield from self.send(
-                widx, phase.in_blocks, label=f"AB[{phase.k_range[0]}:{phase.k_range[1]})"
+                widx, phase.in_blocks, label=ab_labels[idx]
             )
             end = self.queue_compute(
-                widx, phase.updates, arrival,
-                label=f"upd[{phase.k_range[0]}:{phase.k_range[1]})",
+                widx, phase.updates, arrival, label=upd_labels[idx]
             )
             self.free_at(widx, phase.in_blocks, end)
             self.execute_phase(chunk, phase)
@@ -245,6 +245,7 @@ def run_scheduler(
     two_port: bool = False,
     check_memory: bool = True,
     check_invariants: bool = True,
+    engine: str = "fast",
 ) -> Trace:
     """Simulate ``scheduler`` on ``platform`` and return the trace.
 
@@ -252,18 +253,40 @@ def run_scheduler(
     (C is modified in place).  ``check_memory`` enforces each worker's
     ``m_i`` capacity online; ``check_invariants`` validates the one-port
     and sequential-compute properties after the run.
+
+    ``engine`` selects the simulation backend: ``"fast"`` (default) is
+    the event-free timeline scan of :mod:`repro.engine.fast`, ``"des"``
+    the generator-based discrete-event kernel.  Both produce
+    byte-identical traces for chunk schedulers (see
+    ``docs/performance.md``); a scheduler that launches raw kernel
+    processes silently falls back to the DES (its ``launch`` runs again
+    on the kernel engine, so ``launch`` must be repeatable — all
+    in-tree schedulers are).
     """
-    engine = Engine(
-        platform, shape, data=data, two_port=two_port, check_memory=check_memory
-    )
-    scheduler.launch(engine)
-    engine.env.run()
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r} (choose from {ENGINES})")
+    trace: Optional[Trace] = None
+    if engine == "fast":
+        try:
+            trace = run_fast(
+                scheduler, platform, shape,
+                data=data, two_port=two_port, check_memory=check_memory,
+            )
+        except FastEngineUnsupported:
+            trace = None  # raw kernel processes: re-launch on the DES
+    if trace is None:
+        des = Engine(
+            platform, shape, data=data, two_port=two_port, check_memory=check_memory
+        )
+        scheduler.launch(des)
+        des.env.run()
+        trace = des.trace
     if check_invariants:
-        engine.trace.check_invariants()
+        trace.check_invariants()
     expected = shape.total_updates
-    got = engine.trace.total_updates
+    got = trace.total_updates
     if got != expected:
         raise RuntimeError(
             f"{scheduler.name}: executed {got} block updates, expected {expected}"
         )
-    return engine.trace
+    return trace

@@ -11,19 +11,31 @@ It derives the metrics used throughout the experiments (makespan,
 communication volume, CCR, port/worker utilisation, enrolled workers)
 and checks the model's structural invariants (port holds never overlap,
 per-worker computations never overlap).
+
+Interval counts scale with the problem's block count, so the metric
+and invariant paths are vectorised: the numeric columns of both
+interval lists are extracted once (via C-level ``itemgetter`` maps into
+``np.fromiter``), memoized against the list lengths, and every
+aggregate reduces in numpy.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from operator import itemgetter
+from typing import Iterable, NamedTuple, Optional, Sequence
+
+import numpy as np
 
 __all__ = ["CommInterval", "ComputeInterval", "Trace"]
 
 
-@dataclass(frozen=True)
-class CommInterval:
+class CommInterval(NamedTuple):
     """One master-port hold.
+
+    A ``NamedTuple`` rather than a dataclass: engines allocate one per
+    transfer in their innermost loop, and tuple construction is several
+    times cheaper than a frozen-dataclass ``__init__``.
 
     Attributes:
         worker: 1-based worker index.
@@ -45,8 +57,7 @@ class CommInterval:
     port: int = 0
 
 
-@dataclass(frozen=True)
-class ComputeInterval:
+class ComputeInterval(NamedTuple):
     """One worker-side phase execution."""
 
     worker: int
@@ -56,6 +67,49 @@ class ComputeInterval:
     label: str = ""
 
 
+def _columns(
+    intervals: Sequence[tuple], spec: tuple[tuple[int, type], ...]
+) -> tuple[np.ndarray, ...]:
+    """Extract numeric columns from a list of interval tuples."""
+    n = len(intervals)
+    return tuple(
+        np.fromiter(map(itemgetter(idx), intervals), dtype, count=n)
+        for idx, dtype in spec
+    )
+
+
+#: (field index, dtype) specs of the numeric columns.
+_COMM_SPEC = (
+    (0, np.int64),    # worker
+    (2, np.float64),  # start
+    (3, np.float64),  # end
+    (4, np.int64),    # blocks
+    (6, np.int64),    # port
+)
+_COMPUTE_SPEC = (
+    (0, np.int64),    # worker
+    (1, np.float64),  # start
+    (2, np.float64),  # end
+    (3, np.int64),    # updates
+)
+
+
+def _assert_no_overlap(groups, starts, ends, intervals, what: str) -> None:
+    """Assert no two same-group intervals overlap (beyond 1e-9 slack)."""
+    if len(intervals) < 2:
+        return
+    order = np.lexsort((ends, starts, groups))
+    g = groups[order]
+    s = starts[order]
+    e = ends[order]
+    bad = np.nonzero((g[1:] == g[:-1]) & (s[1:] < e[:-1] - 1e-9))[0]
+    if bad.size:
+        i = int(bad[0])
+        prev = intervals[int(order[i])]
+        nxt = intervals[int(order[i + 1])]
+        raise AssertionError(f"{what.format(int(g[i]))}: {prev} then {nxt}")
+
+
 @dataclass
 class Trace:
     """Timed record of one engine run."""
@@ -63,6 +117,13 @@ class Trace:
     comms: list[CommInterval] = field(default_factory=list)
     computes: list[ComputeInterval] = field(default_factory=list)
     memory_peak: dict[int, int] = field(default_factory=dict)
+    #: column caches, keyed by the list length they were built from
+    _comm_cols: Optional[tuple] = field(
+        default=None, repr=False, compare=False
+    )
+    _compute_cols: Optional[tuple] = field(
+        default=None, repr=False, compare=False
+    )
 
     # -- recording -----------------------------------------------------------
     def add_comm(self, interval: CommInterval) -> None:
@@ -79,23 +140,49 @@ class Trace:
         if blocks_in_use > cur:
             self.memory_peak[worker] = blocks_in_use
 
+    # -- column extraction -------------------------------------------------
+    def comm_columns(self) -> tuple[np.ndarray, ...]:
+        """``(worker, start, end, blocks, port)`` arrays of the comms.
+
+        Memoized against ``len(self.comms)`` — recording more intervals
+        invalidates the cache, mutating existing ones in place is
+        unsupported (intervals are immutable tuples anyway).
+        """
+        cached = self._comm_cols
+        n = len(self.comms)
+        if cached is None or cached[0] != n:
+            cached = (n, _columns(self.comms, _COMM_SPEC))
+            self._comm_cols = cached
+        return cached[1]
+
+    def compute_columns(self) -> tuple[np.ndarray, ...]:
+        """``(worker, start, end, updates)`` arrays of the computes."""
+        cached = self._compute_cols
+        n = len(self.computes)
+        if cached is None or cached[0] != n:
+            cached = (n, _columns(self.computes, _COMPUTE_SPEC))
+            self._compute_cols = cached
+        return cached[1]
+
     # -- metrics -----------------------------------------------------------------
     @property
     def makespan(self) -> float:
         """Time the last communication or computation finishes."""
-        last_comm = max((c.end for c in self.comms), default=0.0)
-        last_comp = max((c.end for c in self.computes), default=0.0)
+        last_comm = float(self.comm_columns()[2].max()) if self.comms else 0.0
+        last_comp = (
+            float(self.compute_columns()[2].max()) if self.computes else 0.0
+        )
         return max(last_comm, last_comp)
 
     @property
     def comm_blocks(self) -> int:
         """Total blocks moved through the master."""
-        return sum(c.blocks for c in self.comms)
+        return int(self.comm_columns()[3].sum()) if self.comms else 0
 
     @property
     def total_updates(self) -> int:
         """Total block updates computed."""
-        return sum(c.updates for c in self.computes)
+        return int(self.compute_columns()[3].sum()) if self.computes else 0
 
     @property
     def ccr(self) -> float:
@@ -108,11 +195,18 @@ class Trace:
     @property
     def enrolled_workers(self) -> tuple[int, ...]:
         """Sorted indices of workers that computed at least one update."""
-        return tuple(sorted({c.worker for c in self.computes if c.updates}))
+        if not self.computes:
+            return ()
+        worker, _, _, updates = self.compute_columns()
+        return tuple(int(w) for w in np.unique(worker[updates > 0]))
 
     def port_busy_time(self, port: int = 0) -> float:
         """Total time the given port was held."""
-        return sum(c.end - c.start for c in self.comms if c.port == port)
+        if not self.comms:
+            return 0.0
+        _, start, end, _, ports = self.comm_columns()
+        mask = ports == port
+        return float(np.sum(end[mask] - start[mask]))
 
     def port_utilisation(self, port: int = 0) -> float:
         """Busy fraction of the given port over the makespan."""
@@ -121,7 +215,11 @@ class Trace:
 
     def worker_busy_time(self, worker: int) -> float:
         """Total compute time of one worker."""
-        return sum(c.end - c.start for c in self.computes if c.worker == worker)
+        if not self.computes:
+            return 0.0
+        workers, start, end, _ = self.compute_columns()
+        mask = workers == worker
+        return float(np.sum(end[mask] - start[mask]))
 
     def worker_utilisation(self, worker: int) -> float:
         """Busy fraction of one worker over the makespan."""
@@ -134,22 +232,14 @@ class Trace:
 
         Raises ``AssertionError`` listing the first violation found.
         """
-        tol = 1e-9
-        by_port: dict[int, list[CommInterval]] = {}
-        for c in self.comms:
-            by_port.setdefault(c.port, []).append(c)
-        for port, intervals in by_port.items():
-            ordered = sorted(intervals, key=lambda c: (c.start, c.end))
-            for prev, nxt in zip(ordered, ordered[1:]):
-                assert nxt.start >= prev.end - tol, (
-                    f"port {port} overlap: {prev} then {nxt}"
-                )
-        by_worker: dict[int, list[ComputeInterval]] = {}
-        for k in self.computes:
-            by_worker.setdefault(k.worker, []).append(k)
-        for worker, intervals in by_worker.items():
-            ordered = sorted(intervals, key=lambda c: (c.start, c.end))
-            for prev, nxt in zip(ordered, ordered[1:]):
-                assert nxt.start >= prev.end - tol, (
-                    f"worker {worker} compute overlap: {prev} then {nxt}"
-                )
+        if self.comms:
+            _, start, end, _, ports = self.comm_columns()
+            _assert_no_overlap(
+                ports, start, end, self.comms, "port {} overlap"
+            )
+        if self.computes:
+            workers, start, end, _ = self.compute_columns()
+            _assert_no_overlap(
+                workers, start, end, self.computes,
+                "worker {} compute overlap",
+            )

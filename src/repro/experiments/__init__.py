@@ -57,17 +57,25 @@ ALL_EXPERIMENTS = {
 __all__ = ["ALL_EXPERIMENTS", "campaign_for"]
 
 
-def campaign_for(name: str, scale: int | None = None):
+def campaign_for(
+    name: str, scale: int | None = None, engine: str | None = None
+):
     """The :class:`repro.runner.Campaign` for experiment ``name``.
 
     ``scale`` is forwarded to campaigns that support it (the Figure
     10-13 simulations); experiments with fixed paper instances ignore
-    it.  Raises ``KeyError`` for unknown names.
+    it.  ``engine`` selects the simulation backend (``"fast"``/
+    ``"des"``) for campaigns whose sweeps run the chunk engine.  Raises
+    ``KeyError`` for unknown names.
     """
     import inspect
 
     module = ALL_EXPERIMENTS[name]
     factory = module.campaign
-    if scale is not None and "scale" in inspect.signature(factory).parameters:
-        return factory(scale=scale)
-    return factory()
+    accepted = inspect.signature(factory).parameters
+    kwargs = {}
+    if scale is not None and "scale" in accepted:
+        kwargs["scale"] = scale
+    if engine is not None and "engine" in accepted:
+        kwargs["engine"] = engine
+    return factory(**kwargs)

@@ -25,7 +25,7 @@ from repro.core.layout import mu_overlap
 from repro.engine import run_scheduler
 from repro.platform.model import Platform
 from repro.platform.named import table2_platform, ut_cluster_platform
-from repro.runner import Campaign, Sweep, run_sweep
+from repro.runner import Campaign, Sweep, run_sweep, stamp_points
 from repro.schedulers import DDOML, HoLM, ODDOML
 
 __all__ = [
@@ -45,7 +45,10 @@ def _ports_point(params: Mapping) -> dict:
     shape = FIG10_WORKLOADS[0].scaled(params["scale"]).shape(80)
     platform = ut_cluster_platform(p=8)
     two_port = params["two_port"]
-    trace = run_scheduler(HoLM(), platform, shape, two_port=two_port)
+    trace = run_scheduler(
+        HoLM(), platform, shape, two_port=two_port,
+        engine=params.get("engine", "fast"),
+    )
     return {
         "model": "two-port" if two_port else "one-port",
         "makespan_s": trace.makespan,
@@ -67,8 +70,9 @@ def _overlap_point(params: Mapping) -> dict:
     m = params["m"]
     shape = ProblemShape(r=24, s=36, t=12, q=16)
     platform = Platform.homogeneous(4, c=0.2, w=0.1, m=m)
-    t_over = run_scheduler(ODDOML(), platform, shape).makespan
-    t_flat = run_scheduler(DDOML(), platform, shape).makespan
+    engine = params.get("engine", "fast")
+    t_over = run_scheduler(ODDOML(), platform, shape, engine=engine).makespan
+    t_flat = run_scheduler(DDOML(), platform, shape, engine=engine).makespan
     return {
         "m_blocks": m,
         "mu_overlap": mu_overlap(m),
@@ -86,7 +90,9 @@ def _startup_point(params: Mapping) -> dict:
     mu = mu_overlap(m)
     platform = Platform.homogeneous(1, c=c, w=w, m=m)
     shape = ProblemShape(r=mu, s=mu, t=t, q=8)
-    trace = run_scheduler(HoLM(), platform, shape)
+    trace = run_scheduler(
+        HoLM(), platform, shape, engine=params.get("engine", "fast")
+    )
     # Time attributable to C traffic = 2µ²c per chunk (1 chunk here).
     c_io = 2 * mu * mu * c
     return {
@@ -106,48 +112,62 @@ def _lookahead_point(params: Mapping) -> dict:
     return {"depth": params["depth"], "ratio": sel.ratio}
 
 
-def ports_sweep(scale: int = 8) -> Sweep:
+def ports_sweep(scale: int = 8, engine: str = "fast") -> Sweep:
     """Declare the one-port/two-port pair."""
     return Sweep(
         name="ablation-ports",
         run_fn=_ports_point,
-        points=tuple({"scale": scale, "two_port": tp} for tp in (False, True)),
+        points=stamp_points(
+            tuple({"scale": scale, "two_port": tp} for tp in (False, True)),
+            engine=engine,
+        ),
         aggregate=_ports_aggregate,
         title="Ablation: one-port vs two-port master",
     )
 
 
-def overlap_sweep(memories: tuple[int, ...] = (24, 60, 120, 360, 1200)) -> Sweep:
+def overlap_sweep(
+    memories: tuple[int, ...] = (24, 60, 120, 360, 1200),
+    engine: str = "fast",
+) -> Sweep:
     """Declare one overlap-vs-flat point per memory size."""
     return Sweep(
         name="ablation-overlap",
         run_fn=_overlap_point,
-        points=tuple({"m": m} for m in memories),
+        points=stamp_points(tuple({"m": m} for m in memories), engine=engine),
         title="Ablation: overlap vs no-overlap layout",
     )
 
 
-def startup_sweep(t_values: tuple[int, ...] = (10, 25, 50, 100)) -> Sweep:
+def startup_sweep(
+    t_values: tuple[int, ...] = (10, 25, 50, 100), engine: str = "fast"
+) -> Sweep:
     """Declare one start-up-overhead point per inner dimension ``t``."""
     return Sweep(
         name="ablation-startup",
         run_fn=_startup_point,
-        points=tuple({"t": t} for t in t_values),
+        points=stamp_points(tuple({"t": t} for t in t_values), engine=engine),
         title="Ablation: start-up (C-tile I/O) overhead",
     )
 
 
-def lookahead_sweep(depths: tuple[int, ...] = (1, 2, 3)) -> Sweep:
-    """Declare one selection-ratio point per lookahead depth."""
+def lookahead_sweep(
+    depths: tuple[int, ...] = (1, 2, 3), engine: str = "fast"
+) -> Sweep:
+    """Declare one selection-ratio point per lookahead depth.
+
+    ``engine`` is stamped for interface uniformity; the selection
+    algorithm does not use the chunk engine, so the knob is inert.
+    """
     return Sweep(
         name="ablation-lookahead",
         run_fn=_lookahead_point,
-        points=tuple({"depth": d} for d in depths),
+        points=stamp_points(tuple({"depth": d} for d in depths), engine=engine),
         title="Ablation: lookahead depth (Table 2)",
     )
 
 
-def campaign(scale: int = 8) -> Campaign:
+def campaign(scale: int = 8, engine: str = "fast") -> Campaign:
     """The four ablation sweeps, in the order ``main()`` prints them.
 
     ``scale`` reaches the one scale-parameterised sweep (ports); the
@@ -155,28 +175,40 @@ def campaign(scale: int = 8) -> Campaign:
     """
     return Campaign(
         "ablations",
-        (ports_sweep(scale=scale), overlap_sweep(), startup_sweep(), lookahead_sweep()),
+        (
+            ports_sweep(scale=scale, engine=engine),
+            overlap_sweep(engine=engine),
+            startup_sweep(engine=engine),
+            lookahead_sweep(engine=engine),
+        ),
     )
 
 
-def run_ports(scale: int = 8) -> list[dict]:
+def run_ports(scale: int = 8, engine: str = "fast") -> list[dict]:
     """HoLM under one-port vs two-port masters."""
-    return run_sweep(ports_sweep(scale=scale)).rows
+    return run_sweep(ports_sweep(scale=scale, engine=engine)).rows
 
 
-def run_overlap(memories: tuple[int, ...] = (24, 60, 120, 360, 1200)) -> list[dict]:
+def run_overlap(
+    memories: tuple[int, ...] = (24, 60, 120, 360, 1200),
+    engine: str = "fast",
+) -> list[dict]:
     """ODDOML (overlap) vs DDOML (bigger µ, no overlap) across memory."""
-    return run_sweep(overlap_sweep(memories=memories)).rows
+    return run_sweep(overlap_sweep(memories=memories, engine=engine)).rows
 
 
-def run_startup(t_values: tuple[int, ...] = (10, 25, 50, 100)) -> list[dict]:
+def run_startup(
+    t_values: tuple[int, ...] = (10, 25, 50, 100), engine: str = "fast"
+) -> list[dict]:
     """Measured C-tile overhead vs the paper's bound ``µ/t + 2c/tw``."""
-    return run_sweep(startup_sweep(t_values=t_values)).rows
+    return run_sweep(startup_sweep(t_values=t_values, engine=engine)).rows
 
 
-def run_lookahead(depths: tuple[int, ...] = (1, 2, 3)) -> list[dict]:
+def run_lookahead(
+    depths: tuple[int, ...] = (1, 2, 3), engine: str = "fast"
+) -> list[dict]:
     """Selection ratio vs lookahead depth on the Table 2 platform."""
-    return run_sweep(lookahead_sweep(depths=depths)).rows
+    return run_sweep(lookahead_sweep(depths=depths, engine=engine)).rows
 
 
 def main() -> None:

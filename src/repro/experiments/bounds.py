@@ -28,7 +28,7 @@ from repro.core.bounds import (
 from repro.core.layout import max_reuse_mu
 from repro.engine import run_scheduler
 from repro.platform.model import Platform
-from repro.runner import Campaign, Sweep, run_sweep
+from repro.runner import Campaign, Sweep, run_sweep, stamp_points
 from repro.schedulers.maxreuse import MaxReuse
 
 __all__ = ["run", "simulated_ccr", "main", "sweep", "campaign", "DEFAULT_MEMORIES"]
@@ -37,7 +37,7 @@ __all__ = ["run", "simulated_ccr", "main", "sweep", "campaign", "DEFAULT_MEMORIE
 DEFAULT_MEMORIES: tuple[int, ...] = (21, 57, 111, 241, 511, 1023, 4095, 10000)
 
 
-def simulated_ccr(m: int, t: int = 40) -> float:
+def simulated_ccr(m: int, t: int = 40, engine: str = "fast") -> float:
     """CCR measured by actually running MaxReuse on the engine.
 
     Uses a single worker whose C grid is one full µ×µ tile and inner
@@ -47,7 +47,7 @@ def simulated_ccr(m: int, t: int = 40) -> float:
     mu = max_reuse_mu(m)
     shape = ProblemShape(r=mu, s=mu, t=t, q=4)
     platform = Platform.homogeneous(1, c=1.0, w=1.0, m=m)
-    trace = run_scheduler(MaxReuse(), platform, shape)
+    trace = run_scheduler(MaxReuse(), platform, shape, engine=engine)
     return trace.ccr
 
 
@@ -60,7 +60,7 @@ def _point(params: Mapping) -> dict:
         "m": m,
         "mu": max_reuse_mu(m),
         "ccr_maxreuse(t)": ccr_max_reuse(m, t),
-        "ccr_simulated(t)": simulated_ccr(m, t),
+        "ccr_simulated(t)": simulated_ccr(m, t, params.get("engine", "fast")),
         "ccr_maxreuse_inf": achieved,
         "bound_loomis_whitney": lw,
         "bound_toledo_refined": ccr_lower_bound_toledo_refined(m),
@@ -69,25 +69,31 @@ def _point(params: Mapping) -> dict:
     }
 
 
-def sweep(memories: tuple[int, ...] = DEFAULT_MEMORIES, t: int = 40) -> Sweep:
+def sweep(
+    memories: tuple[int, ...] = DEFAULT_MEMORIES, t: int = 40,
+    engine: str = "fast",
+) -> Sweep:
     """Declare one point per memory size."""
     points = tuple({"m": m, "t": t} for m in memories)
     return Sweep(
         name="bounds",
         run_fn=_point,
-        points=points,
+        points=stamp_points(points, engine=engine),
         title="Section 4: CCR of maximum re-use vs lower bounds (blocks/update)",
     )
 
 
-def campaign() -> Campaign:
+def campaign(engine: str = "fast") -> Campaign:
     """The Section 4 bounds campaign (a single sweep)."""
-    return Campaign("bounds", (sweep(),))
+    return Campaign("bounds", (sweep(engine=engine),))
 
 
-def run(memories: tuple[int, ...] = DEFAULT_MEMORIES, t: int = 40) -> list[dict]:
+def run(
+    memories: tuple[int, ...] = DEFAULT_MEMORIES, t: int = 40,
+    engine: str = "fast",
+) -> list[dict]:
     """Tabulate bounds and achieved CCR for each memory size."""
-    return run_sweep(sweep(memories=memories, t=t)).rows
+    return run_sweep(sweep(memories=memories, t=t, engine=engine)).rows
 
 
 def main() -> None:

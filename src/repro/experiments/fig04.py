@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Mapping
 
 from repro.analysis.tables import format_table
-from repro.runner import Campaign, Sweep, run_sweep
+from repro.runner import Campaign, Sweep, run_sweep, stamp_points
 from repro.simple import SimpleInstance, brute_force_best, min_min, thrifty
 
 __all__ = ["INSTANCE_A", "INSTANCE_B", "run", "main", "sweep", "campaign"]
@@ -50,8 +50,13 @@ def _point(params: Mapping) -> dict:
     return row
 
 
-def sweep(brute_force: bool = True) -> Sweep:
-    """Declare one point per counterexample instance."""
+def sweep(brute_force: bool = True, engine: str = "fast") -> Sweep:
+    """Declare one point per counterexample instance.
+
+    ``engine`` is stamped for interface uniformity with the simulation
+    sweeps; the greedy/brute-force evaluations here do not use the
+    chunk engine, so the knob is inert.
+    """
     points = tuple(
         {
             "instance": label,
@@ -67,23 +72,23 @@ def sweep(brute_force: bool = True) -> Sweep:
     return Sweep(
         name="fig04",
         run_fn=_point,
-        points=points,
+        points=stamp_points(points, engine=engine),
         title="Figure 4: Thrifty vs Min-min (makespans)",
     )
 
 
-def campaign() -> Campaign:
+def campaign(engine: str = "fast") -> Campaign:
     """The Figure 4 campaign (a single two-point sweep)."""
-    return Campaign("fig04", (sweep(),))
+    return Campaign("fig04", (sweep(engine=engine),))
 
 
-def run(brute_force: bool = True) -> list[dict]:
+def run(brute_force: bool = True, engine: str = "fast") -> list[dict]:
     """Evaluate both heuristics on both instances.
 
     ``brute_force`` additionally reports the exhaustive optimum (slow
     for (b); disable for quick runs).
     """
-    return run_sweep(sweep(brute_force=brute_force)).rows
+    return run_sweep(sweep(brute_force=brute_force, engine=engine)).rows
 
 
 def main() -> None:

@@ -23,7 +23,7 @@ from repro.analysis.metrics import summarize_trace
 from repro.analysis.tables import format_table
 from repro.engine import run_scheduler
 from repro.platform.named import ut_cluster_platform
-from repro.runner import Campaign, Sweep, run_sweep
+from repro.runner import Campaign, Sweep, run_sweep, stamp_points
 from repro.schedulers import SECTION8_SCHEDULERS, section8_scheduler
 from repro.workloads import Workload, fig10_workloads
 
@@ -39,7 +39,10 @@ def _point(params: Mapping) -> dict:
         params["workload"], params["n_a"], params["n_ab"], params["n_b"]
     )
     scheduler = section8_scheduler(params["algorithm"])
-    trace = run_scheduler(scheduler, platform, workload.shape(params["q"]))
+    trace = run_scheduler(
+        scheduler, platform, workload.shape(params["q"]),
+        engine=params.get("engine", "fast"),
+    )
     s = summarize_trace(trace)
     return {
         "workload": workload.name,
@@ -52,7 +55,8 @@ def _point(params: Mapping) -> dict:
 
 
 def sweep(
-    scale: int = 1, p: int = 8, memory_mb: float = 512.0, q: int = 80
+    scale: int = 1, p: int = 8, memory_mb: float = 512.0, q: int = 80,
+    engine: str = "fast",
 ) -> Sweep:
     """Declare the 21-point (workload × algorithm) sweep."""
     points = tuple(
@@ -72,23 +76,29 @@ def sweep(
     return Sweep(
         name="fig10",
         run_fn=_point,
-        points=points,
+        points=stamp_points(points, engine=engine),
         title="Figure 10: algorithm makespans on the UT cluster (simulated)",
     )
 
 
-def campaign(scale: int = 1) -> Campaign:
+def campaign(scale: int = 1, engine: str = "fast") -> Campaign:
     """The Figure 10 campaign (a single sweep)."""
-    return Campaign("fig10", (sweep(scale=scale),))
+    return Campaign("fig10", (sweep(scale=scale, engine=engine),))
 
 
-def run(scale: int = 1, p: int = 8, memory_mb: float = 512.0, q: int = 80) -> list[dict]:
+def run(
+    scale: int = 1, p: int = 8, memory_mb: float = 512.0, q: int = 80,
+    engine: str = "fast",
+) -> list[dict]:
     """Simulate all algorithms × workloads; returns one row per pair.
 
     ``scale`` divides every matrix dimension (use 4 or 8 for quick
-    runs — the ranking is scale-invariant in the port-bound regime).
+    runs — the ranking is scale-invariant in the port-bound regime);
+    ``engine`` selects the simulation backend (``"fast"``/``"des"``).
     """
-    return run_sweep(sweep(scale=scale, p=p, memory_mb=memory_mb, q=q)).rows
+    return run_sweep(
+        sweep(scale=scale, p=p, memory_mb=memory_mb, q=q, engine=engine)
+    ).rows
 
 
 def main() -> None:

@@ -23,7 +23,7 @@ from repro.analysis.tables import format_table
 from repro.engine import run_scheduler
 from repro.platform.model import perturbed
 from repro.platform.named import ut_cluster_platform
-from repro.runner import Campaign, Sweep, run_sweep
+from repro.runner import Campaign, Sweep, run_sweep, stamp_points
 from repro.schedulers import SECTION8_SCHEDULERS, section8_scheduler
 from repro.workloads import FIG10_WORKLOADS, Workload
 
@@ -43,7 +43,9 @@ def _point(params: Mapping) -> dict:
         platform = perturbed(base, rng, params["sigma"])
         # Fresh scheduler instance per run (some keep per-run state).
         scheduler = section8_scheduler(params["algorithm"])
-        trace = run_scheduler(scheduler, platform, shape)
+        trace = run_scheduler(
+            scheduler, platform, shape, engine=params.get("engine", "fast")
+        )
         times.append(trace.makespan)
     lo, hi = min(times), max(times)
     return {
@@ -57,7 +59,8 @@ def _point(params: Mapping) -> dict:
 
 
 def sweep(
-    runs: int = 5, sigma: float = 0.02, scale: int = 8, seed: int = 2007
+    runs: int = 5, sigma: float = 0.02, scale: int = 8, seed: int = 2007,
+    engine: str = "fast",
 ) -> Sweep:
     """Declare one jittered-repeat point per Section 8 algorithm."""
     workload = FIG10_WORKLOADS[0].scaled(scale)
@@ -78,14 +81,14 @@ def sweep(
     return Sweep(
         name="fig11",
         run_fn=_point,
-        points=points,
+        points=stamp_points(points, engine=engine),
         title="Figure 11: run-to-run variation (jittered platform)",
     )
 
 
-def campaign(scale: int = 8) -> Campaign:
+def campaign(scale: int = 8, engine: str = "fast") -> Campaign:
     """The Figure 11 campaign (a single sweep)."""
-    return Campaign("fig11", (sweep(scale=scale),))
+    return Campaign("fig11", (sweep(scale=scale, engine=engine),))
 
 
 def run(
@@ -93,13 +96,16 @@ def run(
     sigma: float = 0.02,
     scale: int = 8,
     seed: int = 2007,
+    engine: str = "fast",
 ) -> list[dict]:
     """Repeat each algorithm ``runs`` times under platform jitter.
 
     Returns per-algorithm min/max/mean makespan and the max spread
     ``(max-min)/min`` — the paper's Figure 11 quantity.
     """
-    return run_sweep(sweep(runs=runs, sigma=sigma, scale=scale, seed=seed)).rows
+    return run_sweep(
+        sweep(runs=runs, sigma=sigma, scale=scale, seed=seed, engine=engine)
+    ).rows
 
 
 def main() -> None:

@@ -23,7 +23,7 @@ from typing import Mapping
 from repro.analysis.tables import format_table
 from repro.engine import run_scheduler
 from repro.platform.named import ut_cluster_platform
-from repro.runner import Campaign, Sweep, run_sweep
+from repro.runner import Campaign, Sweep, run_sweep, stamp_points
 from repro.schedulers import SECTION8_SCHEDULERS, section8_scheduler
 from repro.workloads import FIG12_BLOCK_SIZES, Workload
 
@@ -41,7 +41,10 @@ def _point(params: Mapping) -> dict:
         params["workload"], params["n_a"], params["n_ab"], params["n_b"]
     )
     scheduler = section8_scheduler(params["algorithm"])
-    trace = run_scheduler(scheduler, platform, workload.shape(q))
+    trace = run_scheduler(
+        scheduler, platform, workload.shape(q),
+        engine=params.get("engine", "fast"),
+    )
     return {"algorithm": scheduler.name, "q": q, "makespan": trace.makespan}
 
 
@@ -59,7 +62,8 @@ def _aggregate(values: list) -> list[dict]:
 
 
 def sweep(
-    scale: int = 1, block_sizes: tuple[int, ...] = FIG12_BLOCK_SIZES
+    scale: int = 1, block_sizes: tuple[int, ...] = FIG12_BLOCK_SIZES,
+    engine: str = "fast",
 ) -> Sweep:
     """Declare the (q × algorithm) sweep, q-major like the paper."""
     workload = FIG12_WORKLOAD.scaled(scale) if scale > 1 else FIG12_WORKLOAD
@@ -78,20 +82,25 @@ def sweep(
     return Sweep(
         name="fig12",
         run_fn=_point,
-        points=points,
+        points=stamp_points(points, engine=engine),
         aggregate=_aggregate,
         title="Figure 12: impact of block size q",
     )
 
 
-def campaign(scale: int = 1) -> Campaign:
+def campaign(scale: int = 1, engine: str = "fast") -> Campaign:
     """The Figure 12 campaign (a single sweep)."""
-    return Campaign("fig12", (sweep(scale=scale),))
+    return Campaign("fig12", (sweep(scale=scale, engine=engine),))
 
 
-def run(scale: int = 1, block_sizes: tuple[int, ...] = FIG12_BLOCK_SIZES) -> list[dict]:
+def run(
+    scale: int = 1, block_sizes: tuple[int, ...] = FIG12_BLOCK_SIZES,
+    engine: str = "fast",
+) -> list[dict]:
     """One row per (algorithm, q); columns are makespans."""
-    return run_sweep(sweep(scale=scale, block_sizes=block_sizes)).rows
+    return run_sweep(
+        sweep(scale=scale, block_sizes=block_sizes, engine=engine)
+    ).rows
 
 
 def main() -> None:

@@ -17,7 +17,7 @@ from repro.analysis.metrics import summarize_trace
 from repro.analysis.tables import format_table
 from repro.engine import run_scheduler
 from repro.platform.named import ut_cluster_platform
-from repro.runner import Campaign, Sweep, run_sweep
+from repro.runner import Campaign, Sweep, run_sweep, stamp_points
 from repro.schedulers import SECTION8_SCHEDULERS, section8_scheduler
 from repro.workloads import FIG13_MEMORY_MB, FIG13_WORKLOAD, Workload
 
@@ -33,7 +33,10 @@ def _point(params: Mapping) -> dict:
         params["workload"], params["n_a"], params["n_ab"], params["n_b"]
     )
     scheduler = section8_scheduler(params["algorithm"])
-    trace = run_scheduler(scheduler, platform, workload.shape(params["q"]))
+    trace = run_scheduler(
+        scheduler, platform, workload.shape(params["q"]),
+        engine=params.get("engine", "fast"),
+    )
     s = summarize_trace(trace)
     return {
         "memory_mb": params["memory_mb"],
@@ -48,6 +51,7 @@ def sweep(
     scale: int = 1,
     memories_mb: tuple[float, ...] = FIG13_MEMORY_MB,
     q: int = 80,
+    engine: str = "fast",
 ) -> Sweep:
     """Declare the (memory × algorithm) sweep, memory-major."""
     workload = FIG13_WORKLOAD.scaled(scale) if scale > 1 else FIG13_WORKLOAD
@@ -67,23 +71,26 @@ def sweep(
     return Sweep(
         name="fig13",
         run_fn=_point,
-        points=points,
+        points=stamp_points(points, engine=engine),
         title="Figure 13: impact of worker memory size",
     )
 
 
-def campaign(scale: int = 1) -> Campaign:
+def campaign(scale: int = 1, engine: str = "fast") -> Campaign:
     """The Figure 13 campaign (a single sweep)."""
-    return Campaign("fig13", (sweep(scale=scale),))
+    return Campaign("fig13", (sweep(scale=scale, engine=engine),))
 
 
 def run(
     scale: int = 1,
     memories_mb: tuple[float, ...] = FIG13_MEMORY_MB,
     q: int = 80,
+    engine: str = "fast",
 ) -> list[dict]:
     """One row per (memory, algorithm)."""
-    return run_sweep(sweep(scale=scale, memories_mb=memories_mb, q=q)).rows
+    return run_sweep(
+        sweep(scale=scale, memories_mb=memories_mb, q=q, engine=engine)
+    ).rows
 
 
 def main() -> None:

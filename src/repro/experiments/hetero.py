@@ -34,7 +34,7 @@ from repro.core.heterogeneous import (
 )
 from repro.engine import run_scheduler
 from repro.platform.model import Platform
-from repro.runner import Campaign, Sweep, run_sweep
+from repro.runner import Campaign, Sweep, run_sweep, stamp_points
 from repro.schedulers.hetero import HeteroIncremental
 
 __all__ = ["heterogeneous_family", "run", "main", "sweep", "campaign"]
@@ -78,7 +78,10 @@ def _point(params: Mapping) -> dict:
     else:
         selection = local_selection(platform, r, s, t, max_steps=5000)
     shape = ProblemShape(r=r, s=s, t=t, q=params["q"])
-    trace = run_scheduler(HeteroIncremental(variant), platform, shape)
+    trace = run_scheduler(
+        HeteroIncremental(variant), platform, shape,
+        engine=params.get("engine", "fast"),
+    )
     summary = summarize_trace(trace)
     return {
         "degree": degree,
@@ -96,6 +99,7 @@ def sweep(
     p: int = 4,
     shape: ProblemShape | None = None,
     seed: int = 42,
+    engine: str = "fast",
 ) -> Sweep:
     """Declare the (degree × variant) sweep, degree-major."""
     shape = shape or ProblemShape(r=40, s=60, t=20, q=16)
@@ -116,23 +120,26 @@ def sweep(
     return Sweep(
         name="hetero",
         run_fn=_point,
-        points=points,
+        points=stamp_points(points, engine=engine),
         title="Heterogeneity-degree sweep (the study announced in Section 8)",
     )
 
 
-def campaign() -> Campaign:
+def campaign(engine: str = "fast") -> Campaign:
     """The heterogeneity campaign (a single sweep)."""
-    return Campaign("hetero", (sweep(),))
+    return Campaign("hetero", (sweep(engine=engine),))
 
 
 def run(
     degrees: tuple[float, ...] = (0.0, 0.5, 1.0, 2.0, 4.0),
     p: int = 4,
     shape: ProblemShape | None = None,
+    engine: str = "fast",
 ) -> list[dict]:
     """Sweep the heterogeneity degree; one row per (degree, variant)."""
-    return run_sweep(sweep(degrees=degrees, p=p, shape=shape)).rows
+    return run_sweep(
+        sweep(degrees=degrees, p=p, shape=shape, engine=engine)
+    ).rows
 
 
 def main() -> None:

@@ -33,7 +33,7 @@ from repro.lu import (
     simulate_parallel_lu,
 )
 from repro.platform.named import table2_platform, ut_cluster_platform
-from repro.runner import Campaign, Sweep, run_sweep
+from repro.runner import Campaign, Sweep, run_sweep, stamp_points
 
 __all__ = [
     "run_costs",
@@ -145,23 +145,38 @@ def policies_sweep(r: int = 36) -> Sweep:
     )
 
 
-def simulation_sweep(r: int = 56, p: int = 8) -> Sweep:
-    """Declare one simulated-LU point per µ dividing ``r``."""
+def simulation_sweep(r: int = 56, p: int = 8, engine: str = "fast") -> Sweep:
+    """Declare one simulated-LU point per µ dividing ``r``.
+
+    ``engine`` is stamped for interface uniformity; the LU study uses
+    its own kernel-level simulator (:func:`simulate_parallel_lu`), so
+    the knob is inert here.
+    """
     return Sweep(
         name="lu-simulation",
         run_fn=_simulation_point,
-        points=tuple(
-            {"r": r, "p": p, "mu": mu} for mu in (7, 14, 28) if r % mu == 0
+        points=stamp_points(
+            tuple(
+                {"r": r, "p": p, "mu": mu}
+                for mu in (7, 14, 28)
+                if r % mu == 0
+            ),
+            engine=engine,
         ),
         title="Section 7.2: simulated parallel LU on the UT cluster",
     )
 
 
-def campaign() -> Campaign:
+def campaign(engine: str = "fast") -> Campaign:
     """The four LU sweeps, in the order ``main()`` prints them."""
     return Campaign(
         "lu",
-        (costs_sweep(), homogeneous_sweep(), policies_sweep(), simulation_sweep()),
+        (
+            costs_sweep(),
+            homogeneous_sweep(),
+            policies_sweep(),
+            simulation_sweep(engine=engine),
+        ),
     )
 
 
@@ -180,9 +195,9 @@ def run_hetero_policies(r: int = 36) -> list[dict]:
     return run_sweep(policies_sweep(r=r)).rows
 
 
-def run_simulation(r: int = 56, p: int = 8) -> list[dict]:
+def run_simulation(r: int = 56, p: int = 8, engine: str = "fast") -> list[dict]:
     """Engine-simulated parallel LU vs the closed-form estimate."""
-    return run_sweep(simulation_sweep(r=r, p=p)).rows
+    return run_sweep(simulation_sweep(r=r, p=p, engine=engine)).rows
 
 
 def main() -> None:

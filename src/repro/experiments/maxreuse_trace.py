@@ -18,7 +18,7 @@ from repro.blocks.shape import ProblemShape
 from repro.core.layout import MemoryLayout
 from repro.engine import run_scheduler
 from repro.platform.model import Platform
-from repro.runner import Campaign, Sweep, run_sweep
+from repro.runner import Campaign, Sweep, run_sweep, stamp_points
 from repro.schedulers.maxreuse import MaxReuse
 
 __all__ = ["run", "main", "sweep", "campaign"]
@@ -31,7 +31,9 @@ def _point(params: Mapping) -> dict:
     mu = layout.mu
     shape = ProblemShape(r=mu, s=mu, t=t, q=4)
     platform = Platform.homogeneous(1, c=1.0, w=0.5, m=m)
-    trace = run_scheduler(MaxReuse(), platform, shape)
+    trace = run_scheduler(
+        MaxReuse(), platform, shape, engine=params.get("engine", "fast")
+    )
     return {
         "m": m,
         "mu": mu,
@@ -47,24 +49,24 @@ def _point(params: Mapping) -> dict:
     }
 
 
-def sweep(m: int = 21, t: int = 4) -> Sweep:
+def sweep(m: int = 21, t: int = 4, engine: str = "fast") -> Sweep:
     """Declare the single walk-through point."""
     return Sweep(
         name="maxreuse",
         run_fn=_point,
-        points=({"m": m, "t": t},),
+        points=stamp_points(({"m": m, "t": t},), engine=engine),
         title=f"Figures 5/6: maximum re-use layout on m={m} buffers",
     )
 
 
-def campaign() -> Campaign:
+def campaign(engine: str = "fast") -> Campaign:
     """The Figures 5/6 campaign (a single one-point sweep)."""
-    return Campaign("maxreuse", (sweep(),))
+    return Campaign("maxreuse", (sweep(engine=engine),))
 
 
-def run(m: int = 21, t: int = 4) -> dict:
+def run(m: int = 21, t: int = 4, engine: str = "fast") -> dict:
     """Run the m-buffer walk-through; returns layout and trace stats."""
-    return run_sweep(sweep(m=m, t=t)).rows[0]
+    return run_sweep(sweep(m=m, t=t, engine=engine)).rows[0]
 
 
 def main() -> None:

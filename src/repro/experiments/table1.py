@@ -22,7 +22,7 @@ from repro.core.heterogeneous import (
     simulate_bandwidth_centric_feasibility,
 )
 from repro.platform.named import table1_platform
-from repro.runner import Campaign, Sweep, run_sweep
+from repro.runner import Campaign, Sweep, run_sweep, stamp_points
 
 __all__ = ["run", "main", "sweep", "campaign"]
 
@@ -56,24 +56,28 @@ def _point(params: Mapping) -> list[dict]:
     return rows
 
 
-def sweep() -> Sweep:
-    """Declare the single Table 1 feasibility point."""
+def sweep(engine: str = "fast") -> Sweep:
+    """Declare the single Table 1 feasibility point.
+
+    ``engine`` is stamped for interface uniformity; the steady-state
+    analysis does not use the chunk engine, so the knob is inert.
+    """
     return Sweep(
         name="table1",
         run_fn=_point,
-        points=({"platform": "table1"},),
+        points=stamp_points(({"platform": "table1"},), engine=engine),
         title="Table 1: bandwidth-centric steady state vs memory feasibility",
     )
 
 
-def campaign() -> Campaign:
+def campaign(engine: str = "fast") -> Campaign:
     """The Table 1 campaign (a single one-point sweep)."""
-    return Campaign("table1", (sweep(),))
+    return Campaign("table1", (sweep(engine=engine),))
 
 
-def run() -> list[dict]:
+def run(engine: str = "fast") -> list[dict]:
     """Rows: one per worker of the Table 1 platform."""
-    return run_sweep(sweep()).rows
+    return run_sweep(sweep(engine=engine)).rows
 
 
 def main() -> None:

@@ -28,7 +28,7 @@ from repro.core.heterogeneous import (
     lookahead_selection,
 )
 from repro.platform.named import table2_platform
-from repro.runner import Campaign, Sweep, run_sweep
+from repro.runner import Campaign, Sweep, run_sweep, stamp_points
 
 __all__ = ["run", "main", "sweep", "campaign"]
 
@@ -78,9 +78,14 @@ def _point(params: Mapping) -> dict:
 
 
 def sweep(
-    steps: int = 2000, lookahead_depths: tuple[int, ...] = (2, 3)
+    steps: int = 2000, lookahead_depths: tuple[int, ...] = (2, 3),
+    engine: str = "fast",
 ) -> Sweep:
-    """Declare one point per selection variant, in the paper's order."""
+    """Declare one point per selection variant, in the paper's order.
+
+    ``engine`` is stamped for interface uniformity; the selection
+    algorithms do not use the chunk engine, so the knob is inert.
+    """
     base = {"r": _R, "s": _S, "t": _T, "steps": steps}
     points: list[dict] = [{"variant": "steady", **base}]
     points.append({"variant": "global", **base})
@@ -90,19 +95,24 @@ def sweep(
     return Sweep(
         name="table2",
         run_fn=_point,
-        points=tuple(points),
+        points=stamp_points(tuple(points), engine=engine),
         title="Table 2 platform: computation-per-communication ratios",
     )
 
 
-def campaign() -> Campaign:
+def campaign(engine: str = "fast") -> Campaign:
     """The Table 2 campaign (a single sweep)."""
-    return Campaign("table2", (sweep(),))
+    return Campaign("table2", (sweep(engine=engine),))
 
 
-def run(steps: int = 2000, lookahead_depths: tuple[int, ...] = (2, 3)) -> list[dict]:
+def run(
+    steps: int = 2000, lookahead_depths: tuple[int, ...] = (2, 3),
+    engine: str = "fast",
+) -> list[dict]:
     """Measure asymptotic ratios of every selection variant."""
-    return run_sweep(sweep(steps=steps, lookahead_depths=lookahead_depths)).rows
+    return run_sweep(
+        sweep(steps=steps, lookahead_depths=lookahead_depths, engine=engine)
+    ).rows
 
 
 def main() -> None:

@@ -25,6 +25,7 @@ from repro.runner.sweep import (
     SweepResult,
     run_campaign,
     run_sweep,
+    stamp_points,
 )
 
 __all__ = [
@@ -43,4 +44,5 @@ __all__ = [
     "point_key",
     "run_campaign",
     "run_sweep",
+    "stamp_points",
 ]

@@ -40,7 +40,31 @@ __all__ = [
     "SweepResult",
     "run_campaign",
     "run_sweep",
+    "stamp_points",
 ]
+
+
+def stamp_points(
+    points: Sequence[Mapping[str, Any]], **common: Any
+) -> Tuple[Mapping[str, Any], ...]:
+    """Stamp shared knob values into every point of a sweep.
+
+    The uniform way experiment declarations thread cross-cutting knobs
+    (currently the simulation ``engine``) into their points: the knob
+    lands in each point mapping, so it reaches the pure per-point
+    function, participates in the cache key, and crosses process
+    boundaries like any other parameter.  ``None`` values are skipped
+    (knob not applicable / leave the per-point default).
+
+    Stamping deliberately splits the cache namespace per knob value —
+    even for sweeps where a knob is inert — so cache entries always
+    record exactly the parameters the point ran with.
+    """
+    common = {k: v for k, v in common.items() if v is not None}
+    if not common:
+        return tuple(points)
+    return tuple({**p, **common} for p in points)
+
 
 PointFn = Callable[[Mapping[str, Any]], Any]
 AggregateFn = Callable[[List[Any]], Any]

@@ -45,21 +45,16 @@ class OMMOML(StaticChunkScheduler):
         port_free = 0.0
         worker_free = [0.0] * p
         for chunk in chunks:
+            comm_blocks = chunk.comm_blocks
+            updates = chunk.updates
             best_widx, best_finish = 0, float("inf")
             for widx in range(p):
                 wk = platform.workers[widx]
-                comm = (2 * chunk.c_blocks + sum(
-                    ph.in_blocks for ph in chunk.phases
-                )) * wk.c
-                arrive = port_free + comm
-                finish = max(arrive, worker_free[widx]) + chunk.updates * wk.w
+                arrive = port_free + comm_blocks * wk.c
+                finish = max(arrive, worker_free[widx]) + updates * wk.w
                 if finish < best_finish - 1e-12:
                     best_widx, best_finish = widx, finish
-            wk = platform.workers[best_widx]
-            comm = (2 * chunk.c_blocks + sum(
-                ph.in_blocks for ph in chunk.phases
-            )) * wk.c
-            port_free += comm
+            port_free += comm_blocks * platform.workers[best_widx].c
             worker_free[best_widx] = best_finish
             assignment[best_widx].append(chunk)
         return assignment

@@ -67,8 +67,16 @@ class Event:
     An event goes through at most one transition: *pending* →
     *triggered*.  When triggered it carries either a value (success) or an
     exception (failure).  Callbacks registered on the event are invoked by
-    the environment when the event is popped from the schedule.
+    the environment when the event is popped from the schedule (the
+    environment then drops the list reference so fired events free their
+    callback storage immediately).
+
+    ``__slots__`` throughout the event hierarchy: the kernel allocates a
+    handful of events per simulated transfer, so avoiding a per-instance
+    ``__dict__`` measurably shrinks both allocation time and footprint.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_exc", "_ok")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -133,6 +141,8 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` time units after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
@@ -145,6 +155,8 @@ class Timeout(Event):
 
 class Initialize(Event):
     """Internal event used to start a freshly created process."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
@@ -162,6 +174,8 @@ class Process(Event):
     succeeding with the generator's return value, or failing with the
     exception that escaped it.
     """
+
+    __slots__ = ("_gen", "name", "_target")
 
     def __init__(self, env: "Environment", gen: Generator, name: str = ""):
         if not hasattr(gen, "throw"):
@@ -248,6 +262,8 @@ class AllOf(Event):
     Fails as soon as any constituent fails.
     """
 
+    __slots__ = ("_events", "_pending", "_failed")
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
         self._events = list(events)
@@ -305,6 +321,8 @@ class Environment:
         env.run()
         assert env.now == 3.0 and p.value == "done"
     """
+
+    __slots__ = ("_now", "_queue", "_seq", "_active")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)

@@ -38,6 +38,8 @@ class Request(Event):
         # released on exit
     """
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource
@@ -53,6 +55,8 @@ class Request(Event):
 class Release(Event):
     """Event for a release; it always succeeds immediately."""
 
+    __slots__ = ()
+
     def __init__(self, resource: "Resource", request: Request):
         super().__init__(resource.env)
         resource._do_release(request)
@@ -65,6 +69,8 @@ class Resource:
     Statistics for utilization analysis are tracked: total busy time of
     each slot is accumulated in :attr:`busy_time` (summed over slots).
     """
+
+    __slots__ = ("env", "capacity", "users", "queue", "busy_time", "_grant_times")
 
     def __init__(self, env: Environment, capacity: int = 1):
         if capacity < 1:
@@ -117,6 +123,8 @@ class Resource:
 class StoreGet(Event):
     """Pending retrieval from a :class:`Store`."""
 
+    __slots__ = ()
+
     def __init__(self, store: "Store"):
         super().__init__(store.env)
         store._gets.append(self)
@@ -125,6 +133,8 @@ class StoreGet(Event):
 
 class StorePut(Event):
     """Pending insertion into a :class:`Store`."""
+
+    __slots__ = ("item",)
 
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.env)
@@ -140,6 +150,8 @@ class Store:
     (immediately unless the store is full); ``get()`` returns an event
     that fires with the oldest item once one is available.
     """
+
+    __slots__ = ("env", "capacity", "items", "_gets", "_puts")
 
     def __init__(self, env: Environment, capacity: float = float("inf")):
         if capacity <= 0:

@@ -136,6 +136,38 @@ class TestVerification:
         wrong = c0.copy()
         assert not verify_product(a, b, c0, wrong)
 
+    def test_freivalds_accepts_correct_product(self):
+        shape = ProblemShape(r=3, s=4, t=5, q=6)
+        a, b, c0 = make_product_instance(shape, seed=4)
+        result = BlockMatrix(c0.array + a.array @ b.array, q=6)
+        assert verify_product(a, b, c0, result, method="freivalds")
+
+    def test_freivalds_rejects_wrong_product(self):
+        shape = ProblemShape(r=3, s=4, t=5, q=6)
+        a, b, c0 = make_product_instance(shape, seed=5)
+        assert not verify_product(a, b, c0, c0.copy(), method="freivalds")
+
+    def test_freivalds_catches_single_entry_error(self):
+        shape = ProblemShape(r=3, s=4, t=5, q=6)
+        a, b, c0 = make_product_instance(shape, seed=6)
+        result = BlockMatrix(c0.array + a.array @ b.array, q=6)
+        result.array[7, 11] += 1e-3
+        assert not verify_product(a, b, c0, result, method="freivalds")
+        # The dense reference agrees on the verdict.
+        assert not verify_product(a, b, c0, result, method="dense")
+
+    def test_freivalds_seeded_and_validated(self):
+        shape = ProblemShape(r=2, s=2, t=2, q=4)
+        a, b, c0 = make_product_instance(shape, seed=7)
+        result = BlockMatrix(c0.array + a.array @ b.array, q=4)
+        assert verify_product(
+            a, b, c0, result, method="freivalds", rounds=3, seed=123
+        )
+        with pytest.raises(ValueError, match="unknown method"):
+            verify_product(a, b, c0, result, method="exact")
+        with pytest.raises(ValueError, match="rounds"):
+            verify_product(a, b, c0, result, method="freivalds", rounds=0)
+
     @given(
         r=st.integers(1, 3),
         s=st.integers(1, 3),

@@ -1,0 +1,281 @@
+"""Parity oracle: the fast timeline engine vs the discrete-event kernel.
+
+The fast engine (:mod:`repro.engine.fast`) must reproduce the DES
+*byte for byte*: identical comm/compute interval lists (same order,
+same floats, same labels), identical memory peaks, identical numerics,
+identical errors.  These tests sweep randomized platforms and shapes —
+heterogeneous and homogeneous, one-port and two-port, including
+integer-valued parameters that force massive event-time ties — across
+every scheduler family.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.blocks import ProblemShape, make_product_instance
+from repro.engine import Engine, run_scheduler
+from repro.engine.fast import FastEngineUnsupported, run_fast
+from repro.platform import Platform
+from repro.schedulers import (
+    BMM,
+    DDOML,
+    HeteroIncremental,
+    HoLM,
+    MaxReuse,
+    OBMM,
+    ODDOML,
+    OMMOML,
+    ORROML,
+)
+
+ALL_SEVEN = (HoLM, ORROML, OMMOML, ODDOML, DDOML, BMM, OBMM)
+
+
+def assert_traces_identical(des, fast, context=""):
+    """Byte-for-byte equality of two traces (lists compare elementwise)."""
+    assert des.comms == fast.comms, f"comm intervals differ: {context}"
+    assert des.computes == fast.computes, f"compute intervals differ: {context}"
+    assert des.memory_peak == fast.memory_peak, f"memory peaks differ: {context}"
+
+
+def both(scheduler_cls, platform, shape, **kwargs):
+    des = run_scheduler(scheduler_cls(), platform, shape, engine="des", **kwargs)
+    fast = run_scheduler(scheduler_cls(), platform, shape, engine="fast", **kwargs)
+    return des, fast
+
+
+def random_platform(rng, p, integral=False):
+    """A seeded platform; ``integral`` forces tie-heavy integer rates."""
+    if integral:
+        cs = [float(rng.randint(1, 3)) for _ in range(p)]
+        ws = [float(rng.randint(1, 3)) for _ in range(p)]
+    else:
+        cs = [rng.uniform(0.1, 2.0) for _ in range(p)]
+        ws = [rng.uniform(0.05, 2.0) for _ in range(p)]
+    ms = [rng.choice([21, 35, 60, 120]) for _ in range(p)]
+    if rng.random() < 0.4:
+        return Platform.homogeneous(p, c=cs[0], w=ws[0], m=ms[0])
+    return Platform.heterogeneous(cs, ws, ms)
+
+
+class TestSevenSchedulerParity:
+    @pytest.mark.parametrize("integral", [False, True])
+    def test_randomized_platform_matrix(self, integral):
+        """All seven Section 8 algorithms, randomized platforms/shapes,
+        one-port and two-port, tie-free and tie-heavy rates."""
+        rng = random.Random(1234 + integral)
+        for _ in range(12):
+            platform = random_platform(rng, rng.randint(1, 5), integral)
+            shape = ProblemShape(
+                r=rng.randint(1, 9), s=rng.randint(1, 9),
+                t=rng.randint(1, 7), q=2,
+            )
+            two_port = rng.random() < 0.5
+            for cls in ALL_SEVEN:
+                des, fast = both(cls, platform, shape, two_port=two_port)
+                assert_traces_identical(
+                    des, fast, f"{cls.name} {platform.name} {shape} "
+                    f"two_port={two_port}"
+                )
+
+    def test_identical_workers_maximal_ties(self):
+        """Fully symmetric integer platform: every worker identical, so
+        the demand queue order is decided purely by tie-breaking."""
+        platform = Platform.homogeneous(4, c=1.0, w=1.0, m=21)
+        shape = ProblemShape(r=6, s=6, t=4, q=2)
+        for cls in ALL_SEVEN:
+            for two_port in (False, True):
+                des, fast = both(cls, platform, shape, two_port=two_port)
+                assert_traces_identical(des, fast, cls.name)
+
+
+class TestOtherSchedulerParity:
+    def test_max_reuse(self):
+        platform = Platform.homogeneous(1, c=1.0, w=0.5, m=21)
+        shape = ProblemShape(r=4, s=4, t=3, q=2)
+        des, fast = both(MaxReuse, platform, shape)
+        assert_traces_identical(des, fast, "MaxReuse")
+
+    @pytest.mark.parametrize("variant", ["global", "local", "lookahead"])
+    def test_hetero_incremental(self, variant):
+        platform = Platform.heterogeneous(
+            [0.3, 0.5, 0.4], [0.2, 0.3, 0.25], [21, 30, 25]
+        )
+        shape = ProblemShape(r=8, s=12, t=5, q=2)
+        des = run_scheduler(
+            HeteroIncremental(variant), platform, shape, engine="des"
+        )
+        fast = run_scheduler(
+            HeteroIncremental(variant), platform, shape, engine="fast"
+        )
+        assert_traces_identical(des, fast, f"HeteroLM[{variant}]")
+
+
+class TestNumericParity:
+    def test_bitwise_identical_numeric_execution(self):
+        """Same phase order ⇒ bit-identical float accumulation in C."""
+        shape = ProblemShape(r=5, s=7, t=4, q=3)
+        platform = Platform.homogeneous(3, c=0.3, w=0.2, m=21)
+        for cls in (HoLM, ODDOML, BMM):
+            a, b, c0 = make_product_instance(shape, seed=5)
+            c_des = c0.copy()
+            c_fast = c0.copy()
+            run_scheduler(cls(), platform, shape, data=(a, b, c_des), engine="des")
+            run_scheduler(cls(), platform, shape, data=(a, b, c_fast), engine="fast")
+            assert np.array_equal(c_des.array, c_fast.array), cls.name
+
+
+class TestEdgeCaseParity:
+    def test_memory_gate_error_identical(self):
+        """Exceeding a worker's buffer capacity raises the same error."""
+        shape = ProblemShape(r=4, s=4, t=2, q=2)
+        platform = Platform.homogeneous(1, c=1.0, w=1.0, m=10)
+
+        class Oversized(HoLM):
+            def launch(self, engine):
+                from repro.engine import tile_chunks
+
+                # mu=4 tile needs 16 C buffers > 10.
+                engine.env.process(
+                    engine.static_agent(0, tile_chunks(shape, 4), 2)
+                )
+
+            name = "Oversized"
+
+        messages = {}
+        for engine in ("des", "fast"):
+            with pytest.raises(RuntimeError, match="memory exceeded") as exc:
+                run_scheduler(Oversized(), platform, shape, engine=engine)
+            messages[engine] = str(exc.value)
+        assert messages["des"] == messages["fast"]
+
+    def test_memory_check_disabled_parity(self):
+        """check_memory=False executes over-capacity layouts identically."""
+        shape = ProblemShape(r=4, s=4, t=2, q=2)
+        platform = Platform.homogeneous(2, c=1.0, w=1.0, m=10)
+
+        class Oversized(ODDOML):
+            def chunk_param(self, m):
+                return 4
+
+        des = run_scheduler(
+            Oversized(), platform, shape, engine="des", check_memory=False
+        )
+        fast = run_scheduler(
+            Oversized(), platform, shape, engine="fast", check_memory=False
+        )
+        assert_traces_identical(des, fast, "check_memory=False")
+        assert des.memory_peak[1] > 10  # the gate really was exceeded
+
+    def test_update_count_mismatch_same_error(self):
+        class HalfJob(HoLM):
+            def build_chunks(self, shape, param):
+                return super().build_chunks(shape, param)[:1]
+
+            def assign(self, platform, shape, chunks):
+                return {0: chunks}
+
+        platform = Platform.homogeneous(1, c=0.5, w=0.25, m=21)
+        shape = ProblemShape(r=4, s=6, t=3, q=3)
+        for engine in ("des", "fast"):
+            with pytest.raises(RuntimeError, match="block updates"):
+                run_scheduler(HalfJob(), platform, shape, engine=engine)
+
+    def test_bad_generation_gap_same_error(self):
+        class BadGap(ORROML):
+            generation_gap = 3
+
+        platform = Platform.homogeneous(1, c=0.5, w=0.25, m=21)
+        shape = ProblemShape(r=2, s=2, t=2, q=2)
+        for engine in ("des", "fast"):
+            with pytest.raises(ValueError, match="generation_gap"):
+                run_scheduler(BadGap(), platform, shape, engine=engine)
+
+
+class TestDispatchAndFallback:
+    def test_unknown_engine_rejected(self):
+        platform = Platform.homogeneous(1, c=0.5, w=0.25, m=21)
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_scheduler(
+                HoLM(), platform, ProblemShape(r=2, s=2, t=2, q=2),
+                engine="warp",
+            )
+
+    def test_raw_process_scheduler_unsupported_by_fast(self):
+        """run_fast refuses raw kernel generators outright."""
+        platform = Platform.homogeneous(1, c=1.0, w=0.5, m=50)
+        shape = ProblemShape(r=2, s=2, t=2, q=2)
+
+        class RawProcess:
+            name = "raw"
+
+            def launch(self, engine):
+                def agent():
+                    yield engine.env.timeout(1.0)
+
+                engine.env.process(agent())
+
+        with pytest.raises(FastEngineUnsupported):
+            run_fast(RawProcess(), platform, shape)
+
+    def test_raw_process_scheduler_falls_back_to_des(self):
+        """engine="fast" transparently re-launches raw-process
+        schedulers (here: one using a kernel interrupt) on the DES."""
+        from repro.sim.core import Interrupt
+
+        platform = Platform.homogeneous(1, c=1.0, w=0.5, m=50)
+        shape = ProblemShape(r=2, s=2, t=2, q=2)
+
+        class Interrupting(HoLM):
+            """Static HoLM run plus a watchdog process that starts and
+            interrupts a dummy sleeper — exercising kernel features the
+            fast engine cannot host."""
+
+            name = "Interrupting"
+            interrupted = False
+
+            def launch(self, engine):
+                if isinstance(engine, Engine):
+                    outer = self
+
+                    def sleeper():
+                        try:
+                            yield engine.env.timeout(1e9)
+                        except Interrupt:
+                            outer.interrupted = True
+
+                    def watchdog(victim):
+                        yield engine.env.timeout(1.0)
+                        victim.interrupt("deadline")
+
+                    victim = engine.env.process(sleeper())
+                    engine.env.process(watchdog(victim))
+                    super().launch(engine)
+                else:
+                    # On the fast engine the raw processes cannot run.
+                    def dummy():
+                        yield None
+
+                    engine.env.process(dummy())
+
+        scheduler = Interrupting()
+        trace = run_scheduler(scheduler, platform, shape, engine="fast")
+        reference = run_scheduler(HoLM(), platform, shape, engine="des")
+        assert scheduler.interrupted
+        assert trace.comms == reference.comms
+        assert trace.computes == reference.computes
+
+
+class TestExperimentRowParity:
+    def test_fig10_rows_identical_at_smoke_scale(self):
+        """End to end: the experiment rows are identical per engine."""
+        from repro.experiments import fig10
+
+        rows_fast = fig10.run(scale=8, engine="fast")
+        rows_des = fig10.run(scale=8, engine="des")
+        for rf, rd in zip(rows_fast, rows_des):
+            rf = {k: v for k, v in rf.items()}
+            rd = {k: v for k, v in rd.items()}
+            assert rf == rd

@@ -220,10 +220,22 @@ class TestSelectionInvariants:
         sel = global_selection(platform, 10**5, 10**6, 10**5, max_steps=400)
         bound = bandwidth_centric_steady_state(platform).throughput
         # The ratio's denominator is the *last communication* end, so each
-        # worker's final in-flight chunk contributes its work without its
-        # full span; that boundary term grows with the chunk side µ, so
-        # the tail allowance must too (a flat 2/steps is violated by
-        # platforms mixing µ=1 and µ=13 workers at 400 steps).
-        mu_max = max(chunk_sizes(platform))
-        tail = (2.0 + 2.0 * mu_max) / len(sel.sequence)
+        # worker's final in-flight chunk contributes its full µ_i² work
+        # without its compute span.  Allow exactly that boundary slack —
+        # one chunk per enrolled worker relative to the total work — plus
+        # the 2-comm start-up, alongside the older per-step form (which
+        # is looser when chunk sides are balanced but misses platforms
+        # where one huge-µ worker receives a single chunk).
+        mu = chunk_sizes(platform)
+        steps = len(sel.sequence)
+        per_step = (2.0 + 2.0 * max(mu)) / steps
+        in_flight = (
+            sum(
+                mu[i] ** 2
+                for i, n in enumerate(sel.chunks_per_worker)
+                if n
+            )
+            / sel.total_work
+        )
+        tail = max(per_step, 2.0 / steps + in_flight)
         assert sel.ratio <= bound * (1 + tail) + 1e-9
