@@ -1,0 +1,28 @@
+"""Robustness sweep — scheduler degradation under non-stationary platforms."""
+
+from conftest import one_shot
+
+from repro.analysis import format_table
+from repro.experiments import robustness
+
+
+def test_robustness_sweep(benchmark):
+    rows = one_shot(benchmark, robustness.run)
+    print()
+    print(format_table(rows, title="Robustness under non-stationary platforms"))
+    by_key = {(r["scenario"], r["severity"], r["algorithm"]): r for r in rows}
+    for row in rows:
+        assert row["base_makespan_s"] > 0
+        assert row["makespan_s"] > 0
+        # Every preset family only degrades rates / adds contention, so a
+        # scenario run is never materially faster than its baseline (small
+        # slack: brownout recovery rounds off, and demand-driven queue
+        # reshuffles can exhibit benign Graham-style anomalies).
+        assert row["degradation"] >= 0.99, row
+    # Dropping out half the cluster hurts more than a late single-worker
+    # wobble: severity must bite within each family.
+    for algorithm in robustness.ALGORITHMS:
+        low = by_key[("dropout", 0.25, algorithm)]["degradation"]
+        high = by_key[("dropout", 1.0, algorithm)]["degradation"]
+        assert high >= low, (algorithm, low, high)
+    assert max(r["degradation"] for r in rows) > 1.5

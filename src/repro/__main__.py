@@ -8,6 +8,7 @@ Usage::
     python -m repro sweep fig10 --jobs 4        # parallel + cached
     python -m repro sweep all --jobs 8 --scale 8
     python -m repro sweep fig10 --engine des    # force the DES oracle
+    python -m repro sweep robustness --scenario dropout:0.5
     python -m repro cache info        # cache location, entries, size
     python -m repro cache clear       # drop every cached result
 
@@ -37,7 +38,8 @@ def _print_experiment_list() -> None:
     print("  all        run every experiment in sequence")
     print(
         "\nSubcommands:\n"
-        "  sweep NAME [--jobs N] [--no-cache] [--cache-dir D] [--scale K]\n             [--engine fast|des]\n"
+        "  sweep NAME [--jobs N] [--no-cache] [--cache-dir D] [--scale K]\n"
+        "             [--engine fast|des] [--scenario KIND[:SEVERITY]]\n"
         "             run NAME's campaign through the parallel cached runner\n"
         "  cache [info|clear] [--cache-dir D]\n"
         "             inspect or empty the sweep result cache"
@@ -78,6 +80,13 @@ def _cmd_sweep(argv: list[str]) -> int:
              "(default) or the discrete-event kernel (reference oracle)",
     )
     parser.add_argument(
+        "--scenario", default=None, metavar="KIND[:SEVERITY]",
+        help="narrow scenario-aware campaigns (e.g. 'sweep robustness') to "
+             "one non-stationarity family: drift, dropout, congestion or "
+             "brownout, optionally pinning a severity in [0, 1] "
+             "(see docs/scenarios.md); other campaigns ignore the knob",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-point progress lines"
     )
     try:
@@ -90,6 +99,14 @@ def _cmd_sweep(argv: list[str]) -> int:
     if unknown:
         print(f"unknown experiment {unknown[0]!r}; try 'python -m repro list'")
         return 2
+    if args.scenario is not None:
+        from repro.scenarios import parse_scenario_arg
+
+        try:
+            parse_scenario_arg(args.scenario)
+        except ValueError as exc:
+            print(f"bad --scenario: {exc}")
+            return 2
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     progress = None
@@ -101,9 +118,24 @@ def _cmd_sweep(argv: list[str]) -> int:
                 file=sys.stderr,
             )
 
-    for name in names:
+    # Build every campaign before running any: a bad knob combination
+    # (e.g. --scenario stationary on robustness) must fail fast with
+    # exit 2, not crash mid-run after earlier campaigns computed.
+    try:
+        campaigns = [
+            campaign_for(
+                name, scale=args.scale, engine=args.engine,
+                scenario=args.scenario,
+            )
+            for name in names
+        ]
+    except ValueError as exc:
+        print(f"bad arguments: {exc}")
+        return 2
+
+    for name, campaign in zip(names, campaigns):
         result = run_campaign(
-            campaign_for(name, scale=args.scale, engine=args.engine),
+            campaign,
             jobs=args.jobs,
             cache=cache,
             progress=progress,

@@ -24,6 +24,11 @@ scan of :mod:`repro.engine.fast` (default) and the discrete-event
 kernel (the reference oracle); select with
 ``run_scheduler(..., engine="fast"|"des")``.  See
 ``docs/performance.md``.
+
+Both backends also accept a :class:`repro.scenarios.Scenario` for
+non-stationary platforms — time-varying rates, worker dropout,
+background port traffic — and stay byte-identical under it
+(``run_scheduler(..., scenario=...)``; see ``docs/scenarios.md``).
 """
 
 from repro.engine.chunks import Chunk, Phase, tile_chunks, toledo_chunks

@@ -27,6 +27,7 @@ from repro.engine.common import memory_exceeded, validate_block_data
 from repro.engine.fast import FastEngineUnsupported, run_fast
 from repro.engine.trace import CommInterval, ComputeInterval, Trace
 from repro.platform.model import Platform
+from repro.scenarios.model import BackgroundEvent, Scenario
 from repro.sim.core import Environment
 from repro.sim.resources import Resource
 
@@ -67,7 +68,13 @@ class Engine:
         data: Optional[tuple[BlockMatrix, BlockMatrix, BlockMatrix]] = None,
         two_port: bool = False,
         check_memory: bool = True,
+        scenario: Optional[Scenario] = None,
     ):
+        if scenario is not None and scenario.platform != platform:
+            raise ValueError(
+                f"scenario {scenario.name!r} wraps platform "
+                f"{scenario.platform.name!r}, not {platform.name!r}"
+            )
         self.platform = platform
         self.shape = shape
         self.data = data
@@ -81,6 +88,16 @@ class Engine:
         self.compute_done = [0.0] * p
         self._mem_used = [0] * p
         self._pending_free: list[list[tuple[float, int]]] = [[] for _ in range(p)]
+        self.scenario = scenario
+        self._varying = scenario is not None and scenario.has_rate_variation
+        # The background-traffic process is registered before the
+        # scheduler's agents (``launch`` runs after construction), so
+        # its events sequence ahead of same-time agent events — the
+        # fast engine replicates this creation order exactly.
+        if scenario is not None and scenario.background:
+            self.env.process(
+                self._background_agent(scenario.background), name="background"
+            )
         if data is not None:
             validate_block_data(data, shape)
 
@@ -119,29 +136,53 @@ class Engine:
 
     # -- port operations ---------------------------------------------------------
     def send(self, widx: int, blocks: int, label: str = "") -> Generator:
-        """Hold the outbound port for ``blocks·c_i``; returns arrival time."""
+        """Hold the outbound port for ``blocks·c_i(t)``; returns arrival time.
+
+        Under a scenario the rate is sampled at the instant the port is
+        granted (``c_i(start)``) and held for the whole transfer.
+        """
         wk = self.platform.workers[widx]
         with self.send_port.request() as req:
             yield req
             start = self.env.now
-            yield self.env.timeout(blocks * wk.c)
+            rate = self.scenario.c_rate(widx, start) if self._varying else wk.c
+            yield self.env.timeout(blocks * rate)
             self.trace.add_comm(
                 CommInterval(widx + 1, "send", start, self.env.now, blocks, label, 0)
             )
         return self.env.now
 
     def receive(self, widx: int, blocks: int, label: str = "") -> Generator:
-        """Hold the inbound port for ``blocks·c_i`` (worker → master)."""
+        """Hold the inbound port for ``blocks·c_i(t)`` (worker → master)."""
         wk = self.platform.workers[widx]
         port_id = 1 if self.two_port else 0
         with self.recv_port.request() as req:
             yield req
             start = self.env.now
-            yield self.env.timeout(blocks * wk.c)
+            rate = self.scenario.c_rate(widx, start) if self._varying else wk.c
+            yield self.env.timeout(blocks * rate)
             self.trace.add_comm(
                 CommInterval(widx + 1, "recv", start, self.env.now, blocks, label, port_id)
             )
         return self.env.now
+
+    def _background_agent(self, events: Sequence[BackgroundEvent]) -> Generator:
+        """Kernel process holding the master's port for external traffic.
+
+        One process services every event in time order, so overdue
+        events (delayed behind a long transfer) queue immediately and
+        back-to-back.  Holds are recorded as worker-0 ``send`` intervals
+        with zero blocks: they occupy the port without moving payload.
+        """
+        for ev in events:
+            yield from self.wait_until(ev.time)
+            with self.send_port.request() as req:
+                yield req
+                start = self.env.now
+                yield self.env.timeout(ev.duration)
+                self.trace.add_comm(
+                    CommInterval(0, "send", start, self.env.now, 0, ev.label, 0)
+                )
 
     def wait_until(self, when: float) -> Generator:
         """Advance the calling agent to simulated time ``when``."""
@@ -152,10 +193,15 @@ class Engine:
     def queue_compute(
         self, widx: int, updates: int, arrival: float, label: str = ""
     ) -> float:
-        """Schedule a phase's computation; returns its completion time."""
+        """Schedule a phase's computation; returns its completion time.
+
+        Under a scenario the compute rate is sampled at the phase's
+        start time (``w_i(start)``) and held for the whole phase.
+        """
         wk = self.platform.workers[widx]
         start = max(arrival, self.compute_done[widx])
-        end = start + updates * wk.w
+        rate = self.scenario.w_rate(widx, start) if self._varying else wk.w
+        end = start + updates * rate
         self.compute_done[widx] = end
         self.trace.add_compute(ComputeInterval(widx + 1, start, end, updates, label))
         return end
@@ -239,13 +285,14 @@ class SchedulerProtocol(Protocol):
 
 def run_scheduler(
     scheduler: "SchedulerProtocol",
-    platform: Platform,
+    platform: Platform | Scenario,
     shape: ProblemShape,
     data: Optional[tuple[BlockMatrix, BlockMatrix, BlockMatrix]] = None,
     two_port: bool = False,
     check_memory: bool = True,
     check_invariants: bool = True,
     engine: str = "fast",
+    scenario: Optional[Scenario] = None,
 ) -> Trace:
     """Simulate ``scheduler`` on ``platform`` and return the trace.
 
@@ -261,8 +308,23 @@ def run_scheduler(
     ``docs/performance.md``); a scheduler that launches raw kernel
     processes silently falls back to the DES (its ``launch`` runs again
     on the kernel engine, so ``launch`` must be repeatable — all
-    in-tree schedulers are).
+    in-tree schedulers are).  The fast attempt is guaranteed
+    side-effect free up to the fallback: ``run_fast`` withholds ``data``
+    until ``launch`` has succeeded, so a numeric ``C`` can never receive
+    updates from an attempt that was abandoned.
+
+    ``scenario`` makes the platform non-stationary (time-varying rates,
+    dropout, background traffic; see :mod:`repro.scenarios` and
+    ``docs/scenarios.md``).  Passing a :class:`~repro.scenarios.Scenario`
+    as ``platform`` is equivalent to passing its platform plus the
+    scenario.  Both engines remain byte-identical under scenarios.
     """
+    if isinstance(platform, Scenario):
+        if scenario is not None:
+            raise ValueError(
+                "pass the scenario either as `platform` or as `scenario`, not both"
+            )
+        scenario, platform = platform, platform.platform
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r} (choose from {ENGINES})")
     trace: Optional[Trace] = None
@@ -271,12 +333,14 @@ def run_scheduler(
             trace = run_fast(
                 scheduler, platform, shape,
                 data=data, two_port=two_port, check_memory=check_memory,
+                scenario=scenario,
             )
         except FastEngineUnsupported:
             trace = None  # raw kernel processes: re-launch on the DES
     if trace is None:
         des = Engine(
-            platform, shape, data=data, two_port=two_port, check_memory=check_memory
+            platform, shape, data=data, two_port=two_port,
+            check_memory=check_memory, scenario=scenario,
         )
         scheduler.launch(des)
         des.env.run()

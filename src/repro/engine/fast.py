@@ -58,6 +58,7 @@ from repro.engine.chunks import Chunk
 from repro.engine.common import memory_exceeded, validate_block_data
 from repro.engine.trace import CommInterval, ComputeInterval, Trace
 from repro.platform.model import Platform
+from repro.scenarios.model import Scenario
 
 __all__ = ["FastEngine", "FastEngineUnsupported", "run_fast"]
 
@@ -71,9 +72,11 @@ _WAIT = 2  # a generation-gate / final-compute timeout opening
 _CIN = 0    # C tile inbound
 _PHASE = 1  # an A/B phase delivery
 _COUT = 2   # C tile outbound
+_BG = 3     # a background-traffic hold of the master's port
 # Wait kinds.
 _GAP = 0    # buffer-generation gate before the next phase request
 _FINAL = 1  # final-compute gate before the C-out request
+_BGREQ = 2  # background agent waking up to request its next hold
 
 
 class FastEngineUnsupported(TypeError):
@@ -131,6 +134,28 @@ class _Agent:
         self.w = worker.w
 
 
+class _BgAgent:
+    """Runtime state of the background-traffic pseudo-agent.
+
+    Mirrors the DES engine's single background process: it services the
+    scenario's port holds in time order, queueing FIFO on the master's
+    port like any worker request.  Quacks enough like :class:`_Agent`
+    for the heap, the port queue and the grant-flush paths (``stage``
+    is always :data:`_BG`, so scenario-rate recomputation skips it —
+    hold durations are absolute seconds, not ``c``-scaled).
+    """
+
+    __slots__ = ("events", "cursor", "stage", "wait_kind", "start", "duration",
+                 "widx")
+
+    def __init__(self, events):
+        self.events = events
+        self.cursor = 0
+        self.stage = _BG
+        self.wait_kind = _BGREQ
+        self.widx = -1  # read (and ignored) by the shared dispatch paths
+
+
 class FastEngine:
     """Drop-in ``launch`` target mirroring :class:`Engine`'s surface."""
 
@@ -141,7 +166,13 @@ class FastEngine:
         data: Optional[tuple[BlockMatrix, BlockMatrix, BlockMatrix]] = None,
         two_port: bool = False,
         check_memory: bool = True,
+        scenario: Optional[Scenario] = None,
     ):
+        if scenario is not None and scenario.platform != platform:
+            raise ValueError(
+                f"scenario {scenario.name!r} wraps platform "
+                f"{scenario.platform.name!r}, not {platform.name!r}"
+            )
         self.platform = platform
         self.shape = shape
         self.data = data
@@ -150,6 +181,7 @@ class FastEngine:
         self.env = _Launchpad()
         self.trace = Trace()
         self.compute_done = [0.0] * platform.p
+        self.scenario = scenario
         if data is not None:
             validate_block_data(data, shape)
 
@@ -197,6 +229,16 @@ class FastEngine:
         has_data = data is not None
         if has_data:
             a_arr, b_arr, c_arr = data[0].array, data[1].array, data[2].array
+
+        scenario = self.scenario
+        # Scenario hooks: rate lookups sampled at each operation's start
+        # instant.  ``varying`` stays False for stationary scenarios so
+        # the hot path is untouched; an identity scenario reproduces the
+        # stationary timeline bit-for-bit (base · 1.0 == base).
+        varying = scenario is not None and scenario.has_rate_variation
+        if varying:
+            c_rate = scenario.c_rate
+            w_rate = scenario.w_rate
 
         caps = [wk.m for wk in workers]
         mem_used = [0] * p
@@ -264,6 +306,17 @@ class FastEngine:
                 grants.append(agent)
             else:
                 port_queue[recv_pid].append(agent)
+
+        def request_bg(agent: _BgAgent, now: float) -> None:
+            # The background agent claims the master's port for its next
+            # scheduled hold (duration is absolute, never c-scaled).
+            agent.duration = agent.events[agent.cursor].duration
+            if port_free[0]:
+                port_free[0] = False
+                agent.start = now
+                grants.append(agent)
+            else:
+                port_queue[0].append(agent)
 
         def start_chunk(agent: _Agent, now: float) -> None:
             # Next chunk (or retire the agent); then the C-in request.
@@ -335,11 +388,30 @@ class FastEngine:
         # creation order before any normal event fires; each agent runs
         # to its first port request.  Grants flush per agent, exactly as
         # each Initialize burst would let its request event fire later.
+        # The DES registers the scenario's background process before the
+        # scheduler's agents (Engine.__init__ precedes launch), so its
+        # first timeout / port request sequences ahead of theirs.
+        if scenario is not None and scenario.background:
+            bg = _BgAgent(scenario.background)
+            first = bg.events[0].time
+            if first > 0.0:
+                seq += 4
+                push(heap, (first, seq | _WAIT, bg))
+            else:
+                # The heap is still empty (nothing precedes the first
+                # process), so the grant always fuses to its completion.
+                request_bg(bg, 0.0)
+                granted = grants[0]
+                seq += 4
+                push(heap, (granted.duration, seq | _DONE, granted))
+                grants.clear()
         agents = [_Agent(spec, workers[spec.widx]) for spec in self.env.agents]
         for agent in agents:
             start_chunk(agent, 0.0)
             if grants:
                 granted = grants[0]
+                if varying:
+                    granted.duration = granted.blocks * c_rate(granted.widx, 0.0)
                 seq += 4
                 if heap and heap[0][0] <= 0.0:
                     push(heap, (0.0, seq, granted))
@@ -388,7 +460,10 @@ class FastEngine:
                         if now > start:
                             start = now
                         updates = ph[3]
-                        end = start + updates * agent.w
+                        if varying:
+                            end = start + updates * w_rate(widx, start)
+                        else:
+                            end = start + updates * agent.w
                         compute_done[widx] = end
                         computes.append(
                             tnew(_KI, (
@@ -476,7 +551,7 @@ class FastEngine:
                             request_phase(agent, 0, now)
                         else:
                             end_of_phases(agent, now)
-                    else:  # _COUT — chunk complete: free the C tile, next chunk
+                    elif stage == _COUT:  # chunk complete: free C tile, next chunk
                         comms.append(
                             tnew(_CI, (
                                 widx + 1, "recv", agent.start, now, agent.blocks,
@@ -502,6 +577,30 @@ class FastEngine:
                                 del pend[:i]
                         mem_used[widx] = used - agent.blocks
                         start_chunk(agent, now)
+                    else:  # _BG — background hold over: release, next event
+                        ev = agent.events[agent.cursor]
+                        comms.append(
+                            tnew(_CI, (0, "send", agent.start, now, 0, ev.label, 0))
+                        )
+                        waiters = port_queue[0]
+                        if waiters:
+                            nxt = waiters.popleft()
+                            nxt.start = now
+                            grants.append(nxt)
+                        else:
+                            port_free[0] = True
+                        agent.cursor += 1
+                        if agent.cursor < len(agent.events):
+                            when = agent.events[agent.cursor].time
+                            if when > now:
+                                # Kernel: timeout(when - now) scheduled in
+                                # this burst (wait_kind is always _BGREQ).
+                                wait_agent = agent
+                                wait_time = now + (when - now)
+                            else:
+                                # Overdue (delayed behind a long hold):
+                                # re-request within the same burst.
+                                request_bg(agent, now)
                 elif kind == _WAIT:
                     if agent.wait_kind == _GAP:
                         j = agent.pidx
@@ -536,12 +635,17 @@ class FastEngine:
                             grants.append(agent)
                         else:
                             port_queue[0].append(agent)
-                    else:
+                    elif agent.wait_kind == _FINAL:
                         request_cout(agent, now)
+                    else:  # _BGREQ — background wake-up: claim the port
+                        request_bg(agent, now)
                 else:  # _HOP
                     # The grant hop fired (a tie forced it): the completion
-                    # is sequenced here, as the kernel would.
+                    # is sequenced here, as the kernel would.  Varying rates
+                    # are sampled now — the hop instant IS the grant time.
                     seq += 4
+                    if varying and agent.stage != _BG:
+                        agent.duration = agent.blocks * c_rate(agent.widx, now)
                     push(heap, (now + agent.duration, seq | _DONE, agent))
                     continue
                 if wait_agent is not None:
@@ -567,6 +671,14 @@ class FastEngine:
                     # (Specialised single-grant path: bursts grant at most
                     # one transfer per port, and two only in two-port
                     # C-out bursts.)
+                    if varying:
+                        # Every grant in the list was granted at ``now``:
+                        # sample each transfer's rate here, exactly as the
+                        # kernel computes the timeout after ``yield req``.
+                        # Background holds keep their absolute durations.
+                        for g in grants:
+                            if g.stage != _BG:
+                                g.duration = g.blocks * c_rate(g.widx, now)
                     granted = grants[0]
                     if len(grants) == 1:
                         grants.clear()
@@ -623,14 +735,29 @@ def run_fast(
     data: Optional[tuple[BlockMatrix, BlockMatrix, BlockMatrix]] = None,
     two_port: bool = False,
     check_memory: bool = True,
+    scenario: Optional[Scenario] = None,
 ) -> Trace:
     """Launch ``scheduler`` on the fast engine and return its trace.
 
     Raises :class:`FastEngineUnsupported` when the scheduler registers
-    raw kernel processes (callers fall back to the DES).
+    raw kernel processes (callers fall back to the DES).  The exception
+    can only originate from ``launch``, and the engine is constructed
+    *without* the numeric ``data`` until ``launch`` has fully succeeded:
+    an abandoned fast attempt therefore cannot have applied any block
+    update to an in-place ``C``, so the DES re-run after a fallback
+    starts from pristine data.  (``launch`` itself must be free of
+    scheduler-state side effects to be re-runnable — true of every
+    in-tree scheduler, which rebuild chunk lists and queues from
+    scratch on each call.)
     """
     engine = FastEngine(
-        platform, shape, data=data, two_port=two_port, check_memory=check_memory
+        platform, shape, data=None, two_port=two_port,
+        check_memory=check_memory, scenario=scenario,
     )
+    if data is not None:
+        # Validate up front (same error order as the DES, which checks in
+        # its constructor) but attach only after launch has succeeded.
+        validate_block_data(data, shape)
     scheduler.launch(engine)
+    engine.data = data
     return engine.run()

@@ -175,6 +175,27 @@ class Trace:
         return max(last_comm, last_comp)
 
     @property
+    def work_makespan(self) -> float:
+        """Time the last *worker* communication or computation finishes.
+
+        Unlike :attr:`makespan`, scenario background-traffic holds
+        (recorded as worker-0 intervals) do not count: a synthetic hold
+        outlasting the real work extends the port's busy window but did
+        not delay the computation itself.  On traces without background
+        intervals the two are identical.
+        """
+        if self.comms:
+            worker, _, end, _, _ = self.comm_columns()
+            real = end[worker > 0]
+            last_comm = float(real.max()) if real.size else 0.0
+        else:
+            last_comm = 0.0
+        last_comp = (
+            float(self.compute_columns()[2].max()) if self.computes else 0.0
+        )
+        return max(last_comm, last_comp)
+
+    @property
     def comm_blocks(self) -> int:
         """Total blocks moved through the master."""
         return int(self.comm_columns()[3].sum()) if self.comms else 0

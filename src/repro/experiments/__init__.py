@@ -22,6 +22,8 @@ runs them by name.
 | ``lu``              | §7 — LU cost model and pivot-size search               |
 | ``hetero``          | §6/§8 — heterogeneity-degree sweep (announced in §8)   |
 | ``ablations``       | design-choice ablations (one-port, overlap, lookahead) |
+| ``robustness``      | beyond the paper — degradation under non-stationary    |
+|                     | platforms (drift, dropout, congestion, brownout)       |
 """
 
 from repro.experiments import (  # noqa: F401  (re-exported for the CLI)
@@ -35,6 +37,7 @@ from repro.experiments import (  # noqa: F401  (re-exported for the CLI)
     hetero,
     lu,
     maxreuse_trace,
+    robustness,
     table1,
     table2,
 )
@@ -52,21 +55,28 @@ ALL_EXPERIMENTS = {
     "lu": lu,
     "hetero": hetero,
     "ablations": ablations,
+    "robustness": robustness,
 }
 
 __all__ = ["ALL_EXPERIMENTS", "campaign_for"]
 
 
 def campaign_for(
-    name: str, scale: int | None = None, engine: str | None = None
+    name: str,
+    scale: int | None = None,
+    engine: str | None = None,
+    scenario: str | None = None,
 ):
     """The :class:`repro.runner.Campaign` for experiment ``name``.
 
     ``scale`` is forwarded to campaigns that support it (the Figure
     10-13 simulations); experiments with fixed paper instances ignore
     it.  ``engine`` selects the simulation backend (``"fast"``/
-    ``"des"``) for campaigns whose sweeps run the chunk engine.  Raises
-    ``KeyError`` for unknown names.
+    ``"des"``) for campaigns whose sweeps run the chunk engine.
+    ``scenario`` (``"KIND[:SEVERITY]"``, see :mod:`repro.scenarios`)
+    narrows scenario-aware campaigns (currently ``robustness``) to one
+    family; campaigns that ignore it do so silently, like ``scale``.
+    Raises ``KeyError`` for unknown names.
     """
     import inspect
 
@@ -78,4 +88,6 @@ def campaign_for(
         kwargs["scale"] = scale
     if engine is not None and "engine" in accepted:
         kwargs["engine"] = engine
+    if scenario is not None and "scenario" in accepted:
+        kwargs["scenario"] = scenario
     return factory(**kwargs)

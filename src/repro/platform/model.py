@@ -79,9 +79,16 @@ class Platform:
     def heterogeneous(
         c: Sequence[float], w: Sequence[float], m: Sequence[int], name: str = ""
     ) -> "Platform":
-        """Build a heterogeneous platform from parallel parameter lists."""
+        """Build a heterogeneous platform from parallel parameter lists.
+
+        The three lists must have equal lengths; a mismatch raises
+        ``ValueError`` (never silently zip-truncates workers away).
+        """
         if not (len(c) == len(w) == len(m)):
-            raise ValueError("c, w, m must have equal lengths")
+            raise ValueError(
+                f"c, w, m must have equal lengths, got "
+                f"len(c)={len(c)}, len(w)={len(w)}, len(m)={len(m)}"
+            )
         workers = tuple(
             Worker(i + 1, ci, wi, mi) for i, (ci, wi, mi) in enumerate(zip(c, w, m))
         )

@@ -106,20 +106,34 @@ class ResultCache:
             raise
 
     def entries(self) -> Iterator[Path]:
-        """All entry files currently on disk."""
+        """All entry files currently on disk.
+
+        A snapshot, not a lock: a concurrent sweep or :meth:`clear` may
+        remove a listed file before the caller touches it, so consumers
+        must tolerate vanished paths (as :meth:`stats` does).
+        """
         if not self.root.is_dir():
             return iter(())
         return self.root.glob("*/*.json")
 
     def stats(self) -> CacheStats:
-        """Entry count, total size, and the sweep namespaces present."""
-        entries = list(self.entries())
-        sweeps = tuple(sorted({p.parent.name for p in entries}))
-        return CacheStats(
-            entries=len(entries),
-            bytes=sum(p.stat().st_size for p in entries),
-            sweeps=sweeps,
-        )
+        """Entry count, total size, and the sweep namespaces present.
+
+        Entries removed between the directory scan and the ``stat`` call
+        (a concurrent sweep writing/clearing the same cache) are simply
+        skipped — never an exception.
+        """
+        count = 0
+        size = 0
+        sweeps: set[str] = set()
+        for path in self.entries():
+            try:
+                size += path.stat().st_size
+            except OSError:  # vanished mid-scan (FileNotFoundError et al.)
+                continue
+            count += 1
+            sweeps.add(path.parent.name)
+        return CacheStats(entries=count, bytes=size, sweeps=tuple(sorted(sweeps)))
 
     def clear(self, sweep: str | None = None) -> int:
         """Delete all entries (or one sweep's); returns the count removed."""

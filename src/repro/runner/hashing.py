@@ -15,9 +15,8 @@ from __future__ import annotations
 
 import hashlib
 import json
-from functools import lru_cache
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Mapping, Optional, Tuple
 
 __all__ = ["canonical_params", "code_version", "point_key"]
 
@@ -40,22 +39,60 @@ def canonical_params(params: Mapping[str, Any]) -> str:
     )
 
 
-@lru_cache(maxsize=1)
-def code_version() -> str:
-    """Digest of the installed :mod:`repro` package sources.
+def _source_snapshot(root: Path) -> Tuple[Tuple[str, int, int], ...]:
+    """``(relative path, mtime_ns, size)`` of every source file under ``root``.
+
+    Files vanishing mid-scan (a concurrent editor save or branch switch)
+    are skipped — they are equally absent from the digest pass below.
+    """
+    entries = []
+    for path in sorted(root.rglob("*.py")):
+        try:
+            st = path.stat()
+        except OSError:
+            continue
+        entries.append((path.relative_to(root).as_posix(), st.st_mtime_ns, st.st_size))
+    return tuple(entries)
+
+
+#: Last computed version, keyed by the (root, snapshot) that produced it.
+_code_cache: Optional[Tuple[Tuple[Path, tuple], str]] = None
+
+
+def code_version(root: Path | str | None = None) -> str:
+    """Digest of the :mod:`repro` package sources (or of ``root``).
 
     Any edit to any ``repro/**/*.py`` file yields a new version, so the
-    cache never serves results computed by stale code.
+    cache never serves results computed by stale code — *including
+    within one process*: the digest is memoized against a cheap
+    ``(path, mtime_ns, size)`` snapshot that is re-taken on every call,
+    so a long-lived session (REPL, Jupyter) that edits a module and
+    re-runs a sweep gets a fresh key.  (A process-lifetime ``lru_cache``
+    here once served stale results in exactly that workflow.)
     """
-    import repro
+    global _code_cache
+    if root is None:
+        import repro
 
-    root = Path(repro.__file__).resolve().parent
+        root = Path(repro.__file__).resolve().parent
+    else:
+        root = Path(root).resolve()
+    snapshot = _source_snapshot(root)
+    cached = _code_cache
+    if cached is not None and cached[0] == (root, snapshot):
+        return cached[1]
     digest = hashlib.sha256()
-    for path in sorted(root.rglob("*.py")):
-        digest.update(path.relative_to(root).as_posix().encode())
+    for rel, _mtime, _size in snapshot:
+        try:
+            blob = (root / rel).read_bytes()
+        except OSError:
+            continue  # vanished since the snapshot: treated as absent
+        digest.update(rel.encode())
         digest.update(b"\0")
-        digest.update(path.read_bytes())
-    return digest.hexdigest()[:16]
+        digest.update(blob)
+    version = digest.hexdigest()[:16]
+    _code_cache = ((root, snapshot), version)
+    return version
 
 
 def point_key(

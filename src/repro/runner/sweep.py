@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.runner.cache import ResultCache
-from repro.runner.hashing import point_key
+from repro.runner.hashing import code_version, point_key
 from repro.runner.pool import parallel_map
 
 __all__ = [
@@ -222,6 +222,11 @@ def run_sweep(
     """
     start = time.perf_counter()
     total = len(sweep.points)
+    if cache and code is None:
+        # Resolve the code version once per sweep: one cheap re-stat of
+        # the package sources, and every point of the sweep is keyed
+        # against the same snapshot.
+        code = code_version()
     keys = [point_key(sweep.name, p, code) for p in sweep.points] if cache else []
     resolved: List[Optional[PointOutcome]] = [None] * total
 

@@ -1,0 +1,32 @@
+"""Non-stationary platform scenarios: time-varying rates, slowdown and
+dropout events, and background master-port traffic, as a
+:class:`Scenario` wrapper over :class:`~repro.platform.Platform`.
+
+Both simulation engines accept a scenario and stay byte-identical on
+it; see ``docs/scenarios.md`` for the model and parity guarantees, and
+:mod:`repro.experiments.robustness` for the sweep built on top.
+"""
+
+from repro.scenarios.model import (
+    DROPOUT_FACTOR,
+    BackgroundEvent,
+    Scenario,
+    StepTimeline,
+)
+from repro.scenarios.presets import (
+    SCENARIO_KINDS,
+    build_scenario,
+    parse_scenario_arg,
+    scenario_spec,
+)
+
+__all__ = [
+    "DROPOUT_FACTOR",
+    "SCENARIO_KINDS",
+    "BackgroundEvent",
+    "Scenario",
+    "StepTimeline",
+    "build_scenario",
+    "parse_scenario_arg",
+    "scenario_spec",
+]

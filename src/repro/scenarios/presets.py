@@ -1,0 +1,156 @@
+"""Deterministic scenario families for sweeps.
+
+Experiment points must be JSON-able parameter mappings (they feed the
+content-addressed cache), so sweeps never carry :class:`Scenario`
+objects — they carry a *spec* ``{kind, severity, horizon, seed}`` and
+the pure per-point function rebuilds the scenario here.  Same spec +
+same platform ⇒ the identical scenario, in any process.
+
+Each family is parameterised by a ``severity`` knob in ``[0, 1]``:
+
+* ``stationary`` — the identity scenario (baseline; severity ignored);
+* ``drift`` — every worker's ``c``/``w`` re-drawn at regular instants
+  with adverse (≥ 1) half-lognormal factors of width ∝ severity (the
+  Figure 11 jitter made time-varying and one-sided);
+* ``dropout`` — a subset of workers suffers a severe slowdown partway
+  through the run; severity controls how many, how early, how severe.
+  Preset dropouts are *bounded* (factor ≤ 50) so degradation ratios
+  stay finite and comparable across severities — the unbounded
+  :data:`~repro.scenarios.model.DROPOUT_FACTOR` form is available
+  through the :class:`Scenario` API directly;
+* ``congestion`` — bursts of background traffic hold the master's port;
+* ``brownout`` — the shared link loses bandwidth mid-run and recovers.
+
+Times are expressed as fractions of a caller-provided ``horizon``
+(typically the stationary makespan of the same run), so one severity
+means the same *relative* disturbance across workloads and platforms.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.platform.model import Platform
+from repro.scenarios.model import Scenario
+
+__all__ = [
+    "SCENARIO_KINDS",
+    "build_scenario",
+    "parse_scenario_arg",
+    "scenario_spec",
+]
+
+#: The preset families, in reporting order.
+SCENARIO_KINDS = ("stationary", "drift", "dropout", "congestion", "brownout")
+
+#: Rate re-draw instants of the ``drift`` family, as horizon fractions.
+_DRIFT_STEPS = (0.25, 0.5, 0.75)
+#: Upper bound of the ``dropout`` family's slowdown factor.
+_DROPOUT_MAX_FACTOR = 50.0
+
+
+def scenario_spec(
+    kind: str, severity: float, horizon: float, seed: int = 0
+) -> dict[str, Any]:
+    """The JSON-able sweep-point fragment describing one scenario."""
+    if kind not in SCENARIO_KINDS:
+        raise ValueError(f"unknown scenario kind {kind!r} (known: {SCENARIO_KINDS})")
+    if not 0.0 <= severity <= 1.0:
+        raise ValueError(f"severity must be in [0, 1], got {severity}")
+    return {
+        "scenario_kind": kind,
+        "scenario_severity": float(severity),
+        "scenario_horizon": float(horizon),
+        "scenario_seed": int(seed),
+    }
+
+
+def build_scenario(
+    platform: Platform, spec: Mapping[str, Any]
+) -> Scenario:
+    """Rebuild the scenario a spec (see :func:`scenario_spec`) describes.
+
+    Deterministic: the construction consumes only the spec's scalars
+    through a seeded generator, so the same spec yields the same
+    scenario in every process.
+    """
+    kind = spec["scenario_kind"]
+    severity = float(spec["scenario_severity"])
+    horizon = float(spec["scenario_horizon"])
+    seed = int(spec.get("scenario_seed", 0))
+    if kind not in SCENARIO_KINDS:
+        raise ValueError(f"unknown scenario kind {kind!r} (known: {SCENARIO_KINDS})")
+    if not 0.0 <= severity <= 1.0:
+        raise ValueError(f"severity must be in [0, 1], got {severity}")
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    name = f"{platform.name}~{kind}(sev={severity:g})"
+    scenario = Scenario.stationary(platform, name=name)
+    if kind == "stationary" or severity == 0.0:
+        return scenario
+
+    rng = np.random.default_rng([seed, SCENARIO_KINDS.index(kind)])
+    if kind == "drift":
+        # Adverse drift: factors are half-lognormal (always >= 1), so the
+        # family measures robustness to *degrading* rates — symmetric
+        # jitter would let lucky draws speed runs up and mask the effect.
+        sigma = 0.35 * severity
+        for widx in range(1, platform.p + 1):
+            for frac in _DRIFT_STEPS:
+                scenario = scenario.with_rates(
+                    widx,
+                    frac * horizon,
+                    c_factor=float(np.exp(abs(rng.normal(0.0, sigma)))),
+                    w_factor=float(np.exp(abs(rng.normal(0.0, sigma)))),
+                )
+        return scenario
+
+    if kind == "dropout":
+        # Victims are the *first* workers: every selection policy enrolls
+        # workers from index 1 up, so the disturbance always lands on
+        # enrolled workers (random victims would often hit idle ones at
+        # low severity and report a vacuous degradation of 1.0).
+        count = max(1, round(severity * platform.p / 2))
+        onset = (0.9 - 0.6 * severity) * horizon
+        factor = 1.0 + (_DROPOUT_MAX_FACTOR - 1.0) * severity
+        for widx in range(1, count + 1):
+            scenario = scenario.with_slowdown(widx, onset, factor)
+        return scenario
+
+    if kind == "congestion":
+        bursts = 1 + round(7 * severity)
+        duration = 0.04 * horizon * (0.5 + severity)
+        times = np.sort(rng.uniform(0.05, 0.95, size=bursts)) * horizon
+        for i, t in enumerate(times):
+            scenario = scenario.with_background(
+                float(t), float(duration), label=f"congestion-{i}"
+            )
+        return scenario
+
+    # brownout: the shared link degrades at 30 % of the horizon and
+    # recovers at 70 % (scaled_from composes, so the second step undoes
+    # the first on the suffix).
+    factor = 1.0 + 4.0 * severity
+    scenario = scenario.with_bandwidth_step(0.3 * horizon, factor)
+    return scenario.with_bandwidth_step(0.7 * horizon, 1.0 / factor)
+
+
+def parse_scenario_arg(arg: str) -> tuple[str, float | None]:
+    """Parse the CLI's ``--scenario KIND[:SEVERITY]`` knob.
+
+    Returns ``(kind, severity)`` where ``severity`` is ``None`` when the
+    argument does not pin one (the sweep then keeps its severity grid).
+    """
+    kind, _, sev = arg.partition(":")
+    if kind not in SCENARIO_KINDS:
+        raise ValueError(
+            f"unknown scenario kind {kind!r} (known: {', '.join(SCENARIO_KINDS)})"
+        )
+    if not sev:
+        return kind, None
+    severity = float(sev)
+    if not 0.0 <= severity <= 1.0:
+        raise ValueError(f"scenario severity must be in [0, 1], got {severity}")
+    return kind, severity

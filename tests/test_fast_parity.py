@@ -279,3 +279,246 @@ class TestExperimentRowParity:
             rf = {k: v for k, v in rf.items()}
             rd = {k: v for k, v in rd.items()}
             assert rf == rd
+
+
+def random_scenario(rng, platform, integral):
+    """A seeded scenario mixing every non-stationarity feature.
+
+    ``integral`` snaps event times, factors and durations to integers so
+    scenario events collide with transfer/compute completion times and
+    tie-breaking is exercised hard.
+    """
+    from repro.scenarios import Scenario
+
+    sc = Scenario.stationary(platform)
+    for _ in range(rng.randint(0, 4)):
+        widx = rng.randint(1, platform.p)
+        t = float(rng.randint(0, 30)) if integral else rng.uniform(0.0, 30.0)
+        f = float(rng.choice([2, 3])) if integral else rng.uniform(0.4, 4.0)
+        sc = sc.with_slowdown(widx, t, f)
+    if rng.random() < 0.5:
+        t = float(rng.randint(0, 20)) if integral else rng.uniform(0.0, 20.0)
+        f = 2.0 if integral else rng.uniform(0.5, 2.5)
+        sc = sc.with_bandwidth_step(t, f)
+    if rng.random() < 0.3:
+        sc = sc.with_dropout(
+            rng.randint(1, platform.p), float(rng.randint(5, 25)), factor=40.0
+        )
+    times = set()
+    for _ in range(rng.randint(0, 4)):
+        t = float(rng.randint(0, 25)) if integral else rng.uniform(0.0, 25.0)
+        if t in times:
+            continue
+        times.add(t)
+        d = float(rng.randint(1, 4)) if integral else rng.uniform(0.2, 5.0)
+        sc = sc.with_background(t, d)
+    return sc
+
+
+class TestScenarioParity:
+    """Byte-for-byte engine parity extends to non-stationary platforms."""
+
+    def test_identity_scenario_reproduces_stationary_trace(self):
+        """All-1.0 factors and no background: the scenario path must be
+        bit-identical to the plain stationary run on both engines."""
+        from repro.scenarios import Scenario
+
+        platform = Platform.heterogeneous(
+            [0.4, 0.7, 0.5], [0.3, 0.2, 0.4], [21, 35, 30]
+        )
+        shape = ProblemShape(r=6, s=6, t=4, q=2)
+        identity = Scenario.stationary(platform)
+        for cls in ALL_SEVEN:
+            for engine in ("fast", "des"):
+                plain = run_scheduler(cls(), platform, shape, engine=engine)
+                wrapped = run_scheduler(
+                    cls(), platform, shape, engine=engine, scenario=identity
+                )
+                assert plain.comms == wrapped.comms, (cls.name, engine)
+                assert plain.computes == wrapped.computes, (cls.name, engine)
+
+    @pytest.mark.parametrize("integral", [False, True])
+    def test_randomized_scenario_matrix(self, integral):
+        """All seven algorithms under randomized scenarios (time-varying
+        rates, dropout, background traffic), one-port and two-port,
+        tie-free and tie-heavy."""
+        rng = random.Random(4321 + integral)
+        for _ in range(8):
+            platform = random_platform(rng, rng.randint(1, 5), integral)
+            shape = ProblemShape(
+                r=rng.randint(1, 8), s=rng.randint(1, 8),
+                t=rng.randint(1, 6), q=2,
+            )
+            scenario = random_scenario(rng, platform, integral)
+            two_port = rng.random() < 0.5
+            for cls in ALL_SEVEN:
+                des, fast = both(
+                    cls, platform, shape, two_port=two_port, scenario=scenario
+                )
+                assert_traces_identical(
+                    des, fast,
+                    f"{cls.name} {platform.name} {shape} two_port={two_port} "
+                    f"{scenario.name}",
+                )
+
+    def test_background_at_t0_and_overdue_chain(self):
+        """A hold starting at t=0 plus holds scheduled inside earlier
+        holds (overdue re-requests) keep both engines in lockstep."""
+        from repro.scenarios import Scenario
+
+        platform = Platform.homogeneous(3, c=1.0, w=1.0, m=21)
+        shape = ProblemShape(r=5, s=5, t=3, q=2)
+        scenario = (
+            Scenario.stationary(platform)
+            .with_background(0.0, 2.5)
+            .with_background(1.0, 3.0)   # overdue behind the first hold
+            .with_background(2.0, 1.0)   # overdue behind the second
+        )
+        for cls in ALL_SEVEN:
+            for two_port in (False, True):
+                des, fast = both(
+                    cls, platform, shape, two_port=two_port, scenario=scenario
+                )
+                assert_traces_identical(des, fast, f"{cls.name} bg-chain")
+        trace = run_scheduler(ALL_SEVEN[0](), platform, shape, scenario=scenario)
+        bg = [iv for iv in trace.comms if iv.worker == 0]
+        assert len(bg) == 3  # every hold ran (serially, FIFO with workers)
+        assert all(iv.blocks == 0 for iv in bg)
+
+    def test_scenario_as_platform_argument(self):
+        """run_scheduler accepts the Scenario itself in place of the
+        platform (the wrapper carries its platform)."""
+        from repro.scenarios import Scenario
+
+        platform = Platform.homogeneous(2, c=0.5, w=0.25, m=21)
+        shape = ProblemShape(r=4, s=4, t=3, q=2)
+        scenario = Scenario.stationary(platform).with_slowdown(1, 3.0, 2.0)
+        via_wrapper = run_scheduler(HoLM(), scenario, shape)
+        via_kwarg = run_scheduler(HoLM(), platform, shape, scenario=scenario)
+        assert via_wrapper.comms == via_kwarg.comms
+        assert via_wrapper.computes == via_kwarg.computes
+        with pytest.raises(ValueError, match="not both"):
+            run_scheduler(HoLM(), scenario, shape, scenario=scenario)
+
+    def test_scenario_platform_mismatch_rejected(self):
+        from repro.scenarios import Scenario
+
+        platform = Platform.homogeneous(2, c=0.5, w=0.25, m=21)
+        other = Platform.homogeneous(3, c=0.5, w=0.25, m=21)
+        scenario = Scenario.stationary(other)
+        for engine in ("fast", "des"):
+            with pytest.raises(ValueError, match="wraps platform"):
+                run_scheduler(
+                    HoLM(), platform, ProblemShape(r=2, s=2, t=2, q=2),
+                    engine=engine, scenario=scenario,
+                )
+
+    def test_max_reuse_and_hetero_scenario_parity(self):
+        from repro.scenarios import Scenario
+
+        p1 = Platform.homogeneous(1, c=1.0, w=0.5, m=21)
+        sc = (
+            Scenario.stationary(p1)
+            .with_slowdown(1, 6.0, 2.5)
+            .with_background(2.0, 1.5)
+        )
+        des, fast = both(MaxReuse, p1, ProblemShape(r=4, s=4, t=3, q=2), scenario=sc)
+        assert_traces_identical(des, fast, "MaxReuse scenario")
+
+        plat = Platform.heterogeneous(
+            [0.3, 0.5, 0.4], [0.2, 0.3, 0.25], [21, 30, 25]
+        )
+        sc = (
+            Scenario.stationary(plat)
+            .with_slowdown(2, 10.0, 2.0)
+            .with_background(5.0, 3.0)
+        )
+        shape = ProblemShape(r=8, s=12, t=5, q=2)
+        for variant in ("global", "local", "lookahead"):
+            des = run_scheduler(
+                HeteroIncremental(variant), plat, shape, engine="des", scenario=sc
+            )
+            fast = run_scheduler(
+                HeteroIncremental(variant), plat, shape, engine="fast", scenario=sc
+            )
+            assert_traces_identical(des, fast, f"HeteroLM[{variant}] scenario")
+
+    def test_numeric_execution_identical_under_scenario(self):
+        """Scenario timing shifts must not change the numeric result:
+        same updates in the same per-worker order, bit-identical C."""
+        from repro.scenarios import Scenario
+
+        shape = ProblemShape(r=5, s=7, t=4, q=3)
+        platform = Platform.homogeneous(3, c=0.3, w=0.2, m=21)
+        scenario = (
+            Scenario.stationary(platform)
+            .with_slowdown(2, 4.0, 3.0)
+            .with_background(1.0, 2.0)
+        )
+        for cls in (HoLM, ODDOML, BMM):
+            a, b, c0 = make_product_instance(shape, seed=5)
+            c_des = c0.copy()
+            c_fast = c0.copy()
+            run_scheduler(
+                cls(), platform, shape, data=(a, b, c_des), engine="des",
+                scenario=scenario,
+            )
+            run_scheduler(
+                cls(), platform, shape, data=(a, b, c_fast), engine="fast",
+                scenario=scenario,
+            )
+            assert np.array_equal(c_des.array, c_fast.array), cls.name
+
+
+class TestFallbackDataIntegrity:
+    """The fast→DES fallback must never double-apply numeric updates."""
+
+    def test_fallback_with_data_yields_correct_C(self):
+        """Regression: a raw-process scheduler with data= attached must
+        produce a numerically correct C after the DES fallback — the
+        abandoned fast attempt may not have touched it."""
+        platform = Platform.homogeneous(2, c=1.0, w=0.5, m=50)
+        shape = ProblemShape(r=3, s=3, t=2, q=2)
+
+        class RawTail(HoLM):
+            """Chunk agents first, then a raw process: the fast launch
+            registers real work before discovering it must bail."""
+
+            name = "RawTail"
+
+            def launch(self, engine):
+                super().launch(engine)
+
+                def tick():
+                    yield engine.env.timeout(1.0)
+
+                engine.env.process(tick())
+
+        a, b, c0 = make_product_instance(shape, seed=11)
+        c_fallback = c0.copy()
+        trace = run_scheduler(
+            RawTail(), platform, shape, data=(a, b, c_fallback), engine="fast"
+        )
+        expected = a.array @ b.array + c0.array
+        assert np.allclose(c_fallback.array, expected)
+        assert trace.total_updates == shape.total_updates
+
+    def test_fast_attempt_sees_none_data(self):
+        """Structural guarantee: until launch succeeds, the fast engine
+        holds no reference to the numeric data at all."""
+        from repro.engine.fast import run_fast
+
+        platform = Platform.homogeneous(1, c=1.0, w=0.5, m=50)
+        shape = ProblemShape(r=2, s=2, t=2, q=2)
+        seen = {}
+
+        class Recorder(HoLM):
+            name = "Recorder"
+
+            def launch(self, engine):
+                seen["data"] = engine.data
+                super().launch(engine)
+
+        a, b, c0 = make_product_instance(shape, seed=3)
+        run_fast(Recorder(), platform, shape, data=(a, b, c0.copy()))
+        assert seen["data"] is None

@@ -173,3 +173,32 @@ class TestNamedPlatforms:
     def test_ut_cluster_memory_sweep(self):
         low = ut_cluster_platform(p=2, memory_mb=132)
         assert low.workers[0].m == memory_mb_to_blocks(132, 80)
+
+
+class TestHeterogeneousLengthMismatch:
+    """Mismatched c/w/m lists must raise, never zip-truncate workers.
+
+    All three mismatch directions are covered: a silently shorter
+    platform would skew every downstream selection/makespan result
+    (the Linpack-generator lesson: silent input-model assumptions
+    corrupt results).
+    """
+
+    def test_short_c_rejected(self):
+        with pytest.raises(ValueError, match="equal lengths"):
+            Platform.heterogeneous([1.0], [1.0, 2.0], [10, 20])
+
+    def test_short_w_rejected(self):
+        with pytest.raises(ValueError, match="equal lengths"):
+            Platform.heterogeneous([1.0, 2.0], [1.0], [10, 20])
+
+    def test_short_m_rejected(self):
+        with pytest.raises(ValueError, match="equal lengths"):
+            Platform.heterogeneous([1.0, 2.0], [1.0, 2.0], [10])
+
+    def test_error_names_the_lengths(self):
+        with pytest.raises(ValueError, match=r"len\(c\)=1, len\(w\)=2, len\(m\)=3"):
+            Platform.heterogeneous([1.0], [1.0, 2.0], [10, 20, 30])
+
+    def test_matched_lists_accepted(self):
+        assert Platform.heterogeneous([1.0, 2.0], [1.0, 2.0], [10, 20]).p == 2

@@ -329,3 +329,95 @@ class TestSweepCLI:
         assert cli_main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
         assert "removed 1" in capsys.readouterr().out
         assert ResultCache(tmp_path).stats().entries == 0
+
+
+class TestCodeVersionFreshness:
+    """code_version must track source edits within one process."""
+
+    def _fake_package(self, tmp_path: Path) -> Path:
+        root = tmp_path / "pkg"
+        root.mkdir(parents=True)
+        (root / "a.py").write_text("x = 1\n")
+        (root / "sub").mkdir()
+        (root / "sub" / "b.py").write_text("y = 2\n")
+        return root
+
+    def test_edit_changes_version_in_process(self, tmp_path):
+        """Regression: a process-lifetime lru_cache once pinned the first
+        digest forever, serving stale cached sweep results to long-lived
+        sessions (REPL/Jupyter) that edit code and re-run."""
+        root = self._fake_package(tmp_path)
+        before = code_version(root)
+        assert code_version(root) == before  # snapshot-memoized
+        (root / "a.py").write_text("x = 10  # edited\n")
+        after = code_version(root)
+        assert after != before
+        assert code_version(root) == after
+
+    def test_new_and_deleted_files_change_version(self, tmp_path):
+        root = self._fake_package(tmp_path)
+        v0 = code_version(root)
+        (root / "c.py").write_text("z = 3\n")
+        v1 = code_version(root)
+        assert v1 != v0
+        (root / "c.py").unlink()
+        assert code_version(root) == v0  # back to the original source set
+
+    def test_default_root_is_stable_within_run(self):
+        assert code_version() == code_version()
+
+    def test_run_sweep_picks_up_edits_between_runs(self, tmp_path):
+        """End to end: editing the (fake) package between two sweeps of
+        the same process yields different cache keys — the second run
+        recomputes instead of serving the first run's entries."""
+        root = self._fake_package(tmp_path / "src")
+        cache = ResultCache(tmp_path / "cache")
+        sweep = _counting_sweep(tmp_path / "w", n=2)
+        counter = tmp_path / "w" / "calls.txt"
+        run_sweep(sweep, cache=cache, code=code_version(root))
+        assert _calls(counter) == 2
+        run_sweep(sweep, cache=cache, code=code_version(root))
+        assert _calls(counter) == 2  # warm
+        (root / "a.py").write_text("x = 99\n")
+        run_sweep(sweep, cache=cache, code=code_version(root))
+        assert _calls(counter) == 4  # invalidated by the edit
+
+
+class TestCacheStatsRace:
+    """stats()/entries() must tolerate concurrently vanishing files."""
+
+    def test_stats_skips_vanished_entries(self, tmp_path, monkeypatch):
+        """Regression: a file deleted between the glob and the stat call
+        crashed stats() with FileNotFoundError."""
+        cache = ResultCache(tmp_path)
+        cache.put("s1", "k1", {"a": 1}, [1])
+        cache.put("s2", "k2", {"a": 2}, [2])
+        ghost = cache.path_for("s3", "k3")  # never written: a vanished entry
+        real_entries = list(cache.entries()) + [ghost]
+        monkeypatch.setattr(
+            ResultCache, "entries", lambda self: iter(real_entries)
+        )
+        stats = cache.stats()
+        assert stats.entries == 2
+        assert stats.sweeps == ("s1", "s2")
+        assert stats.bytes > 0
+
+    def test_stats_with_mid_scan_clear(self, tmp_path):
+        """Deleting files while the lazy glob is being consumed."""
+        cache = ResultCache(tmp_path)
+        for i in range(4):
+            cache.put("s", f"k{i}", {"i": i}, i)
+        it = cache.entries()
+        first = next(it)
+        cache.clear()  # everything vanishes while the iterator is live
+        survivors = [first] + list(it)
+        # stats() on a fresh (now empty) view must not crash either way.
+        stats = cache.stats()
+        assert stats.entries == 0
+        assert survivors  # the glob had yielded at least the first path
+
+    def test_clear_counts_do_not_stat(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("s", "k", {"a": 1}, 1)
+        assert cache.clear() == 1
+        assert cache.stats().entries == 0
