@@ -1,0 +1,150 @@
+"""Execution-backend throughput — process vs persistent on a warm campaign.
+
+The sweep runner's three backends promise identical rows; this module
+measures what they *cost* on the workload the persistent backend was
+built for: a campaign of several sweeps of cheap points, where pool
+start-up and per-task IPC dominate real computation.  The fresh-pool
+``process`` backend pays a pool spawn per sweep and a task round-trip
+per point; the ``persistent`` backend pays one pool spawn per session
+and ships points in batches to already-warm workers.
+
+``test_persistent_beats_process_on_warm_campaign`` is the acceptance
+gate: on a warm multi-sweep campaign the persistent backend must beat
+the process backend outright.  The surrounding benchmarks record the
+absolute numbers (see docs/runner.md for measured figures).
+
+Run with ``pytest benchmarks/bench_runner.py -s --benchmark-only`` for
+the numbers, or plain ``pytest benchmarks/bench_runner.py`` for the
+gate.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import one_shot
+
+from repro.runner import Campaign, Sweep, create_backend, run_campaign
+
+#: Campaign shape: enough sweeps that pool start-up matters, enough
+#: points per sweep that batching matters.
+N_SWEEPS = 6
+N_POINTS = 32
+JOBS = 2
+
+
+def _micro_point(params: dict) -> dict:
+    """A deliberately cheap point: a few hundred float ops, no engine."""
+    x = params["x"]
+    acc = 0.0
+    for i in range(1, 200):
+        acc += (x * i) % 7 / i
+    return {"x": x, "acc": acc}
+
+
+def _campaign() -> Campaign:
+    return Campaign(
+        "bench-backend",
+        tuple(
+            Sweep(
+                name=f"bench-backend-{s}",
+                run_fn=_micro_point,
+                points=tuple(
+                    {"s": s, "x": x} for x in range(N_POINTS)
+                ),
+            )
+            for s in range(N_SWEEPS)
+        ),
+    )
+
+
+def _run_campaign_on(backend_name: str):
+    """One cold campaign on a fresh backend instance (cache-less)."""
+    with create_backend(backend_name, jobs=JOBS) as backend:
+        return run_campaign(_campaign(), jobs=JOBS, backend=backend)
+
+
+def test_backend_serial(benchmark):
+    result = one_shot(benchmark, _run_campaign_on, "serial")
+    assert result.misses == N_SWEEPS * N_POINTS
+
+
+def test_backend_process(benchmark):
+    result = one_shot(benchmark, _run_campaign_on, "process")
+    assert result.misses == N_SWEEPS * N_POINTS
+
+
+def test_backend_persistent(benchmark):
+    result = one_shot(benchmark, _run_campaign_on, "persistent")
+    assert result.misses == N_SWEEPS * N_POINTS
+
+
+def _measure_backends():
+    """One comparison round: best-of-3 campaign wall-clock per backend.
+
+    Returns ``(process_seconds, persistent_seconds)`` plus both
+    results so the caller can assert row identity.
+    """
+    campaign = _campaign()
+    rounds = 3  # best-of-N absorbs scheduler noise within an attempt
+
+    process_seconds = float("inf")
+    with create_backend("process", jobs=JOBS) as process_backend:
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            process_result = run_campaign(
+                campaign, jobs=JOBS, backend=process_backend
+            )
+            process_seconds = min(process_seconds, time.perf_counter() - t0)
+
+    persistent_seconds = float("inf")
+    with create_backend("persistent", jobs=JOBS) as persistent_backend:
+        warmup = Sweep(
+            name="warmup", run_fn=_micro_point, points=({"s": -1, "x": 0},)
+        )
+        run_campaign(Campaign("warmup", (warmup,)), jobs=JOBS,
+                     backend=persistent_backend)
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            persistent_result = run_campaign(
+                campaign, jobs=JOBS, backend=persistent_backend
+            )
+            persistent_seconds = min(
+                persistent_seconds, time.perf_counter() - t0
+            )
+    return process_seconds, persistent_seconds, process_result, persistent_result
+
+
+def test_persistent_beats_process_on_warm_campaign():
+    """Acceptance gate: warm persistent workers beat fresh pools.
+
+    Both backends run the identical campaign with the same job count.
+    The persistent backend is warmed with one throwaway sweep first —
+    the steady state it exists for (`sweep all`, repeated invocations,
+    benchmark sessions) — while the process backend, by design, can
+    never be warm: it spawns a pool per sweep.  Identical rows are
+    asserted along the way, so the speed claim is about the same work.
+
+    The comparison retries up to three attempts: a contended CI runner
+    can deschedule one side of a tens-of-milliseconds measurement, but
+    a genuine regression loses every attempt (the local margin is
+    ~6-9×, see docs/runner.md).
+    """
+    attempts = []
+    for _ in range(3):
+        process_s, persistent_s, process_r, persistent_r = _measure_backends()
+        assert persistent_r.tables == process_r.tables
+        attempts.append((process_s, persistent_s))
+        print(
+            f"\nwarm campaign ({N_SWEEPS} sweeps x {N_POINTS} points, "
+            f"jobs={JOBS}): process {process_s * 1e3:.1f} ms, "
+            f"persistent {persistent_s * 1e3:.1f} ms "
+            f"({process_s / persistent_s:.1f}x)"
+        )
+        if persistent_s < process_s:
+            return
+    raise AssertionError(
+        "persistent never beat process on a warm multi-sweep campaign "
+        f"across {len(attempts)} attempts: "
+        + ", ".join(f"{p * 1e3:.1f}ms vs {q * 1e3:.1f}ms" for p, q in attempts)
+    )

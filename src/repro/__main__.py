@@ -8,18 +8,26 @@ Usage::
     python -m repro sweep fig10 --jobs 4        # parallel + cached
     python -m repro sweep all --jobs 8 --scale 8
     python -m repro sweep fig10 --engine des    # force the DES oracle
+    python -m repro sweep all --jobs 4 --backend persistent   # warm workers
+    python -m repro sweep fig10 --resume        # finish a killed sweep
     python -m repro sweep robustness --scenario dropout:0.5
-    python -m repro cache info        # cache location, entries, size
+    python -m repro cache info        # cache location, entries, size (O(1))
+    python -m repro cache rebuild     # re-derive manifests from entry files
     python -m repro cache clear       # drop every cached result
 
 ``sweep`` runs an experiment's campaign through the unified runner
-(:mod:`repro.runner`): points fan out over ``--jobs`` worker processes
-and results are memoized in a content-addressed on-disk cache, so a
-repeated invocation completes without re-running any simulation.
-Aggregated tables are identical to the plain serial path.
+(:mod:`repro.runner`): cache-miss points execute on the selected
+``--backend`` (``serial`` inline, ``process`` fresh pool per sweep,
+``persistent`` warm workers shared by every sweep of the invocation)
+over ``--jobs`` workers, and results are memoized in a
+manifest-indexed content-addressed on-disk cache, so a repeated
+invocation completes without re-running any simulation and a killed
+one picks up where it stopped (``--resume``).  Aggregated tables are
+identical across every backend and the plain serial path.
 
-Exit codes: 0 on success, 2 for unknown experiment/sweep names or bad
-arguments.
+Exit codes: 0 on success, 1 when a sweep point failed (aborting the
+run, or recorded under ``--keep-going``), 2 for unknown
+experiment/sweep names or bad arguments.
 """
 
 from __future__ import annotations
@@ -38,11 +46,13 @@ def _print_experiment_list() -> None:
     print("  all        run every experiment in sequence")
     print(
         "\nSubcommands:\n"
-        "  sweep NAME [--jobs N] [--no-cache] [--cache-dir D] [--scale K]\n"
-        "             [--engine fast|des] [--scenario KIND[:SEVERITY]]\n"
+        "  sweep NAME [--jobs N] [--backend auto|serial|process|persistent]\n"
+        "             [--resume] [--keep-going] [--no-cache] [--cache-dir D]\n"
+        "             [--scale K] [--engine fast|des]\n"
+        "             [--scenario KIND[:SEVERITY]]\n"
         "             run NAME's campaign through the parallel cached runner\n"
-        "  cache [info|clear] [--cache-dir D]\n"
-        "             inspect or empty the sweep result cache"
+        "  cache [info|rebuild|clear] [--cache-dir D]\n"
+        "             inspect, re-index or empty the sweep result cache"
     )
 
 
@@ -61,6 +71,28 @@ def _cmd_sweep(argv: list[str]) -> int:
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for cache-miss points (default 1)",
+    )
+    parser.add_argument(
+        "--backend", choices=("auto", "serial", "process", "persistent"),
+        default="auto",
+        help="execution backend: 'serial' runs inline, 'process' starts a "
+             "fresh pool per sweep, 'persistent' keeps warm workers alive "
+             "across every sweep of this invocation; 'auto' (default) picks "
+             "serial for --jobs 1 and process otherwise.  An explicit choice "
+             "is stamped into every point, so each backend keeps its own "
+             "cache entries",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip points already listed in the sweep's cache manifest "
+             "(one O(1) index read) and compute only the missing/failed "
+             "rest — finishing a previously killed run without re-doing "
+             "its completed points; requires the cache",
+    )
+    parser.add_argument(
+        "--keep-going", action="store_true",
+        help="record a failing point as an errored row and continue the "
+             "sweep instead of aborting on the first failure",
     )
     parser.add_argument(
         "--no-cache", action="store_true",
@@ -108,24 +140,32 @@ def _cmd_sweep(argv: list[str]) -> int:
             print(f"bad --scenario: {exc}")
             return 2
 
+    if args.resume and args.no_cache:
+        print("bad arguments: --resume needs the cache (drop --no-cache)")
+        return 2
+
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     progress = None
     if not args.quiet:
         def progress(ev):  # noqa: ANN001 — repro.runner.Progress
             source = "cache" if ev.cached else f"{ev.seconds:6.2f}s"
+            marker = "" if ev.status == "ok" else "  FAILED"
             print(
-                f"[{ev.sweep} {ev.index + 1}/{ev.total}] {source}",
+                f"[{ev.sweep} {ev.index + 1}/{ev.total}] {source}{marker}",
                 file=sys.stderr,
             )
 
     # Build every campaign before running any: a bad knob combination
     # (e.g. --scenario stationary on robustness) must fail fast with
     # exit 2, not crash mid-run after earlier campaigns computed.
+    # An explicit --backend is stamped into the points (own cache
+    # namespace); 'auto' leaves points — and cache keys — untouched.
+    stamped_backend = None if args.backend == "auto" else args.backend
     try:
         campaigns = [
             campaign_for(
                 name, scale=args.scale, engine=args.engine,
-                scenario=args.scenario,
+                scenario=args.scenario, backend=stamped_backend,
             )
             for name in names
         ]
@@ -133,22 +173,67 @@ def _cmd_sweep(argv: list[str]) -> int:
         print(f"bad arguments: {exc}")
         return 2
 
-    for name, campaign in zip(names, campaigns):
-        result = run_campaign(
-            campaign,
-            jobs=args.jobs,
-            cache=cache,
-            progress=progress,
-        )
-        for sweep_result in result.sweeps:
-            print(format_table(sweep_result.rows, title=sweep_result.title))
-            print()
-        print(
-            f"{name}: {result.hits} cached, {result.misses} computed "
-            f"in {result.elapsed:.2f}s"
-            + ("" if cache else " (cache disabled)")
-        )
-    return 0
+    import os
+
+    from repro.runner import SweepPointError, resolve_backend
+
+    # Point functions may consult the store themselves via cached_call
+    # (e.g. the robustness baselines), and worker processes only see
+    # the environment — so --cache-dir/--no-cache are exported for the
+    # duration of the invocation (and restored afterwards), keeping
+    # every cache touch under the flags the user gave.
+    saved_env = {
+        k: os.environ.get(k) for k in ("REPRO_CACHE_DIR", "REPRO_CACHE_DISABLE")
+    }
+    if cache is not None:
+        os.environ["REPRO_CACHE_DIR"] = str(cache.root)
+        # An inherited kill switch must not silently defeat the store
+        # this invocation explicitly asked for.
+        os.environ.pop("REPRO_CACHE_DISABLE", None)
+    else:
+        os.environ["REPRO_CACHE_DISABLE"] = "1"
+
+    # One backend instance for the whole invocation: `--backend
+    # persistent` keeps its warm workers across every sweep and
+    # campaign of `sweep all`.
+    exec_backend, owned = resolve_backend(stamped_backend, args.jobs)
+    failed = 0
+    try:
+        for name, campaign in zip(names, campaigns):
+            result = run_campaign(
+                campaign,
+                jobs=args.jobs,
+                cache=cache,
+                progress=progress,
+                backend=exec_backend,
+                resume=args.resume,
+                on_error="keep" if args.keep_going else "raise",
+            )
+            failed += result.errors
+            for sweep_result in result.sweeps:
+                print(format_table(sweep_result.rows, title=sweep_result.title))
+                print()
+            summary = (
+                f"{name}: {result.hits} cached, {result.misses} computed"
+            )
+            if result.errors:
+                summary += f" ({result.errors} failed)"
+            print(
+                summary + f" in {result.elapsed:.2f}s"
+                + ("" if cache else " (cache disabled)")
+            )
+    except SweepPointError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if owned:
+            exec_backend.close()
+        for key, value in saved_env.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+    return 1 if failed else 0
 
 
 def _cmd_cache(argv: list[str]) -> int:
@@ -160,7 +245,8 @@ def _cmd_cache(argv: list[str]) -> int:
         description="Inspect or empty the sweep result cache.",
     )
     parser.add_argument(
-        "action", nargs="?", default="info", choices=("info", "clear")
+        "action", nargs="?", default="info",
+        choices=("info", "clear", "rebuild"),
     )
     parser.add_argument("--cache-dir", default=None, metavar="DIR")
     try:
@@ -172,6 +258,14 @@ def _cmd_cache(argv: list[str]) -> int:
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached results from {cache.root}")
+        return 0
+    if args.action == "rebuild":
+        total = 0
+        if cache.root.is_dir():
+            for child in sorted(cache.root.iterdir()):
+                if child.is_dir():
+                    total += len(cache.rebuild_manifest(child.name))
+        print(f"rebuilt manifests for {total} entries in {cache.root}")
         return 0
     stats = cache.stats()
     print(f"cache dir : {cache.root}")

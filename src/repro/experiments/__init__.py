@@ -66,6 +66,7 @@ def campaign_for(
     scale: int | None = None,
     engine: str | None = None,
     scenario: str | None = None,
+    backend: str | None = None,
 ):
     """The :class:`repro.runner.Campaign` for experiment ``name``.
 
@@ -76,6 +77,10 @@ def campaign_for(
     ``scenario`` (``"KIND[:SEVERITY]"``, see :mod:`repro.scenarios`)
     narrows scenario-aware campaigns (currently ``robustness``) to one
     family; campaigns that ignore it do so silently, like ``scale``.
+    ``backend`` stamps the execution backend into every point (see
+    :func:`repro.runner.stamp_points` — the point function ignores it,
+    but each backend gets its own cache namespace, which is what lets
+    the CI matrix compare freshly computed rows across backends).
     Raises ``KeyError`` for unknown names.
     """
     import inspect
@@ -90,4 +95,6 @@ def campaign_for(
         kwargs["engine"] = engine
     if scenario is not None and "scenario" in accepted:
         kwargs["scenario"] = scenario
+    if backend is not None and "backend" in accepted:
+        kwargs["backend"] = backend
     return factory(**kwargs)

@@ -71,29 +71,33 @@ def _point(params: Mapping) -> dict:
 
 def sweep(
     memories: tuple[int, ...] = DEFAULT_MEMORIES, t: int = 40,
-    engine: str = "fast",
+    engine: str = "fast", backend: str | None = None,
 ) -> Sweep:
     """Declare one point per memory size."""
     points = tuple({"m": m, "t": t} for m in memories)
     return Sweep(
         name="bounds",
         run_fn=_point,
-        points=stamp_points(points, engine=engine),
+        points=stamp_points(points, engine=engine, backend=backend),
         title="Section 4: CCR of maximum re-use vs lower bounds (blocks/update)",
     )
 
 
-def campaign(engine: str = "fast") -> Campaign:
+def campaign(engine: str = "fast", backend: str | None = None) -> Campaign:
     """The Section 4 bounds campaign (a single sweep)."""
-    return Campaign("bounds", (sweep(engine=engine),))
+    return Campaign("bounds", (sweep(engine=engine, backend=backend),))
 
 
 def run(
     memories: tuple[int, ...] = DEFAULT_MEMORIES, t: int = 40,
-    engine: str = "fast",
+    engine: str = "fast", jobs: int = 1, backend: str | None = None,
 ) -> list[dict]:
     """Tabulate bounds and achieved CCR for each memory size."""
-    return run_sweep(sweep(memories=memories, t=t, engine=engine)).rows
+    return run_sweep(
+        sweep(memories=memories, t=t, engine=engine, backend=backend),
+        jobs=jobs,
+        backend=backend,
+    ).rows
 
 
 def main() -> None:

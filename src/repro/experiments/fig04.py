@@ -50,7 +50,10 @@ def _point(params: Mapping) -> dict:
     return row
 
 
-def sweep(brute_force: bool = True, engine: str = "fast") -> Sweep:
+def sweep(
+    brute_force: bool = True, engine: str = "fast",
+    backend: str | None = None,
+) -> Sweep:
     """Declare one point per counterexample instance.
 
     ``engine`` is stamped for interface uniformity with the simulation
@@ -72,23 +75,30 @@ def sweep(brute_force: bool = True, engine: str = "fast") -> Sweep:
     return Sweep(
         name="fig04",
         run_fn=_point,
-        points=stamp_points(points, engine=engine),
+        points=stamp_points(points, engine=engine, backend=backend),
         title="Figure 4: Thrifty vs Min-min (makespans)",
     )
 
 
-def campaign(engine: str = "fast") -> Campaign:
+def campaign(engine: str = "fast", backend: str | None = None) -> Campaign:
     """The Figure 4 campaign (a single two-point sweep)."""
-    return Campaign("fig04", (sweep(engine=engine),))
+    return Campaign("fig04", (sweep(engine=engine, backend=backend),))
 
 
-def run(brute_force: bool = True, engine: str = "fast") -> list[dict]:
+def run(
+    brute_force: bool = True, engine: str = "fast",
+    jobs: int = 1, backend: str | None = None,
+) -> list[dict]:
     """Evaluate both heuristics on both instances.
 
     ``brute_force`` additionally reports the exhaustive optimum (slow
     for (b); disable for quick runs).
     """
-    return run_sweep(sweep(brute_force=brute_force, engine=engine)).rows
+    return run_sweep(
+        sweep(brute_force=brute_force, engine=engine, backend=backend),
+        jobs=jobs,
+        backend=backend,
+    ).rows
 
 
 def main() -> None:

@@ -63,7 +63,7 @@ def _aggregate(values: list) -> list[dict]:
 
 def sweep(
     scale: int = 1, block_sizes: tuple[int, ...] = FIG12_BLOCK_SIZES,
-    engine: str = "fast",
+    engine: str = "fast", backend: str | None = None,
 ) -> Sweep:
     """Declare the (q × algorithm) sweep, q-major like the paper."""
     workload = FIG12_WORKLOAD.scaled(scale) if scale > 1 else FIG12_WORKLOAD
@@ -82,24 +82,33 @@ def sweep(
     return Sweep(
         name="fig12",
         run_fn=_point,
-        points=stamp_points(points, engine=engine),
+        points=stamp_points(points, engine=engine, backend=backend),
         aggregate=_aggregate,
         title="Figure 12: impact of block size q",
     )
 
 
-def campaign(scale: int = 1, engine: str = "fast") -> Campaign:
+def campaign(
+    scale: int = 1, engine: str = "fast", backend: str | None = None
+) -> Campaign:
     """The Figure 12 campaign (a single sweep)."""
-    return Campaign("fig12", (sweep(scale=scale, engine=engine),))
+    return Campaign(
+        "fig12", (sweep(scale=scale, engine=engine, backend=backend),)
+    )
 
 
 def run(
     scale: int = 1, block_sizes: tuple[int, ...] = FIG12_BLOCK_SIZES,
-    engine: str = "fast",
+    engine: str = "fast", jobs: int = 1, backend: str | None = None,
 ) -> list[dict]:
     """One row per (algorithm, q); columns are makespans."""
     return run_sweep(
-        sweep(scale=scale, block_sizes=block_sizes, engine=engine)
+        sweep(
+            scale=scale, block_sizes=block_sizes, engine=engine,
+            backend=backend,
+        ),
+        jobs=jobs,
+        backend=backend,
     ).rows
 
 

@@ -28,6 +28,15 @@ OBMM) absorb drift and dropout far better than the static assignments
 (HoLM, ORROML, OMMOML) — work migrates away from degraded workers by
 construction — while congestion and brownout hit everyone roughly in
 proportion to their port utilisation.
+
+One deliberate deviation from the runner's "library calls write
+nothing" rule: the stationary baselines are persisted through
+:func:`repro.runner.cached_call` even when the sweep itself runs
+cache-less, because re-simulating a baseline per process is the single
+largest waste in this experiment and the whole point of sharing it
+across pools, backends and runs.  Set ``$REPRO_CACHE_DIR`` to relocate
+that store or ``$REPRO_CACHE_DISABLE=1`` to turn it off (the CLI's
+``--cache-dir``/``--no-cache`` export exactly these).
 """
 
 from __future__ import annotations
@@ -39,7 +48,7 @@ from repro.analysis.metrics import summarize_trace
 from repro.analysis.tables import format_table
 from repro.engine import run_scheduler
 from repro.platform.named import ut_cluster_platform
-from repro.runner import Campaign, Sweep, run_sweep, stamp_points
+from repro.runner import Campaign, Sweep, cached_call, run_sweep, stamp_points
 from repro.scenarios import build_scenario, scenario_spec
 from repro.schedulers import SECTION8_SCHEDULERS, MaxReuse, section8_scheduler
 from repro.workloads import fig10_workloads
@@ -68,20 +77,36 @@ def _scheduler_and_platform(algorithm: str, p: int, memory_mb: float, q: int):
     return section8_scheduler(algorithm), platform
 
 
-@lru_cache(maxsize=None)
-def _baseline_makespan(
+def _stationary_makespan(
     algorithm: str, p: int, memory_mb: float, q: int, scale: int, engine: str
 ) -> float:
-    """Stationary work makespan of one algorithm, memoized per process.
-
-    The baseline is identical across a point's whole (kind × severity)
-    grid — only these six scalars matter — so each worker process
-    simulates it once per algorithm instead of once per point.
-    """
+    """Simulate one algorithm's stationary baseline (uncached kernel)."""
     scheduler, platform = _scheduler_and_platform(algorithm, p, memory_mb, q)
     shape = fig10_workloads(scale)[0].shape(q)
     trace = run_scheduler(scheduler, platform, shape, engine=engine)
     return trace.work_makespan
+
+
+@lru_cache(maxsize=None)
+def _baseline_makespan(
+    algorithm: str, p: int, memory_mb: float, q: int, scale: int, engine: str
+) -> float:
+    """Stationary work makespan of one algorithm, memoized at two levels.
+
+    The baseline is identical across a point's whole (kind × severity)
+    grid — only these six scalars matter.  The ``lru_cache`` keeps it
+    hot within one process; underneath, :func:`repro.runner.cached_call`
+    persists it in the sweep result cache (``$REPRO_CACHE_DIR`` or the
+    default location, keyed by these scalars plus the package code
+    version), so fresh worker pools, the persistent backend's warm
+    workers, and later runs all reuse one simulation per algorithm
+    instead of recomputing it per process.
+    """
+    return cached_call(
+        "robustness-baseline",
+        _stationary_makespan,
+        algorithm, p, memory_mb, q, scale, engine,
+    )
 
 
 def _point(params: Mapping) -> dict:
@@ -129,6 +154,7 @@ def sweep(
     kinds: Sequence[str] = KINDS,
     severities: Sequence[float] = SEVERITIES,
     seed: int = 0,
+    backend: str | None = None,
 ) -> Sweep:
     """Declare the (kind × severity × algorithm) robustness sweep."""
     points = tuple(
@@ -149,13 +175,14 @@ def sweep(
     return Sweep(
         name="robustness",
         run_fn=_point,
-        points=stamp_points(points, engine=engine),
+        points=stamp_points(points, engine=engine, backend=backend),
         title="Robustness: makespan degradation under non-stationary platforms",
     )
 
 
 def campaign(
-    scale: int = 1, engine: str = "fast", scenario: Optional[str] = None
+    scale: int = 1, engine: str = "fast", scenario: Optional[str] = None,
+    backend: str | None = None,
 ) -> Campaign:
     """The robustness campaign (a single sweep).
 
@@ -179,7 +206,12 @@ def campaign(
             severities = (severity,)
     return Campaign(
         "robustness",
-        (sweep(scale=scale, engine=engine, kinds=kinds, severities=severities),),
+        (
+            sweep(
+                scale=scale, engine=engine, kinds=kinds,
+                severities=severities, backend=backend,
+            ),
+        ),
     )
 
 
@@ -192,6 +224,8 @@ def run(
     kinds: Sequence[str] = KINDS,
     severities: Sequence[float] = SEVERITIES,
     seed: int = 0,
+    jobs: int = 1,
+    backend: str | None = None,
 ) -> list[dict]:
     """Run the robustness sweep; one row per (kind, severity, algorithm).
 
@@ -202,8 +236,10 @@ def run(
     return run_sweep(
         sweep(
             scale=scale, p=p, memory_mb=memory_mb, q=q, engine=engine,
-            kinds=kinds, severities=severities, seed=seed,
-        )
+            kinds=kinds, severities=severities, seed=seed, backend=backend,
+        ),
+        jobs=jobs,
+        backend=backend,
     ).rows
 
 

@@ -56,7 +56,7 @@ def _point(params: Mapping) -> list[dict]:
     return rows
 
 
-def sweep(engine: str = "fast") -> Sweep:
+def sweep(engine: str = "fast", backend: str | None = None) -> Sweep:
     """Declare the single Table 1 feasibility point.
 
     ``engine`` is stamped for interface uniformity; the steady-state
@@ -65,19 +65,25 @@ def sweep(engine: str = "fast") -> Sweep:
     return Sweep(
         name="table1",
         run_fn=_point,
-        points=stamp_points(({"platform": "table1"},), engine=engine),
+        points=stamp_points(
+            ({"platform": "table1"},), engine=engine, backend=backend
+        ),
         title="Table 1: bandwidth-centric steady state vs memory feasibility",
     )
 
 
-def campaign(engine: str = "fast") -> Campaign:
+def campaign(engine: str = "fast", backend: str | None = None) -> Campaign:
     """The Table 1 campaign (a single one-point sweep)."""
-    return Campaign("table1", (sweep(engine=engine),))
+    return Campaign("table1", (sweep(engine=engine, backend=backend),))
 
 
-def run(engine: str = "fast") -> list[dict]:
+def run(
+    engine: str = "fast", jobs: int = 1, backend: str | None = None
+) -> list[dict]:
     """Rows: one per worker of the Table 1 platform."""
-    return run_sweep(sweep(engine=engine)).rows
+    return run_sweep(
+        sweep(engine=engine, backend=backend), jobs=jobs, backend=backend
+    ).rows
 
 
 def main() -> None:

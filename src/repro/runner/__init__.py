@@ -1,14 +1,29 @@
-"""Unified sweep runner: declarative experiments, parallel fan-out, caching.
+"""Unified sweep runner: declarative experiments, pluggable execution
+backends, a manifest-indexed result store.
 
 The experiment modules declare their work as :class:`Sweep`\\ s (points +
 a pure per-point function) grouped into :class:`Campaign`\\ s;
-:func:`run_sweep` / :func:`run_campaign` execute them serially or across
-a process pool with results memoized in a content-addressed on-disk
-:class:`ResultCache`.  ``python -m repro sweep <name>`` is the CLI
-front-end; ``benchmarks/conftest.py`` reuses the same cache through
-:func:`cached_call`.
+:func:`run_sweep` / :func:`run_campaign` execute them on an
+interchangeable :class:`~repro.runner.backends.ExecutionBackend`
+(``serial`` inline, ``process`` fresh pool, ``persistent`` warm
+workers) with results memoized in a content-addressed on-disk
+:class:`ResultCache` whose per-sweep manifests make ``cache info`` and
+``--resume`` O(1) index reads.  ``python -m repro sweep <name>`` is the
+CLI front-end; ``benchmarks/conftest.py`` reuses the same cache through
+:func:`cached_call`.  See ``docs/runner.md`` for the architecture.
 """
 
+from repro.runner.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    PersistentBackend,
+    ProcessBackend,
+    SerialBackend,
+    TaskResult,
+    create_backend,
+    parallel_map,
+    resolve_backend,
+)
 from repro.runner.cache import (
     CacheStats,
     ResultCache,
@@ -17,11 +32,13 @@ from repro.runner.cache import (
 )
 from repro.runner.hashing import canonical_params, code_version, point_key
 from repro.runner.sweep import (
+    FAILED,
     Campaign,
     CampaignResult,
     PointOutcome,
     Progress,
     Sweep,
+    SweepPointError,
     SweepResult,
     run_campaign,
     run_sweep,
@@ -29,19 +46,30 @@ from repro.runner.sweep import (
 )
 
 __all__ = [
+    "BACKENDS",
     "CacheStats",
     "Campaign",
     "CampaignResult",
+    "ExecutionBackend",
+    "FAILED",
+    "PersistentBackend",
     "PointOutcome",
+    "ProcessBackend",
     "Progress",
     "ResultCache",
+    "SerialBackend",
     "Sweep",
+    "SweepPointError",
     "SweepResult",
+    "TaskResult",
     "cached_call",
     "canonical_params",
     "code_version",
+    "create_backend",
     "default_cache_dir",
+    "parallel_map",
     "point_key",
+    "resolve_backend",
     "run_campaign",
     "run_sweep",
     "stamp_points",

@@ -1,0 +1,36 @@
+"""Pluggable execution backends for the sweep runner.
+
+Importing this package registers the three built-in backends:
+
+========== ==========================================================
+``serial``     inline, zero overhead — the reference semantics
+``process``    fresh pool per sweep, function shipped via initializer
+``persistent`` warm workers reused across sweeps, batched dispatch
+========== ==========================================================
+
+See :mod:`repro.runner.backends.base` for the contract and
+``docs/runner.md`` for when to pick which.
+"""
+
+from repro.runner.backends.base import (
+    BACKENDS,
+    ExecutionBackend,
+    TaskResult,
+    create_backend,
+    resolve_backend,
+)
+from repro.runner.backends.persistent import PersistentBackend
+from repro.runner.backends.process import ProcessBackend, parallel_map
+from repro.runner.backends.serial import SerialBackend
+
+__all__ = [
+    "BACKENDS",
+    "ExecutionBackend",
+    "PersistentBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "TaskResult",
+    "create_backend",
+    "parallel_map",
+    "resolve_backend",
+]

@@ -1,0 +1,167 @@
+"""The execution-backend contract and registry.
+
+An :class:`ExecutionBackend` turns a pure point function plus a list of
+parameter mappings into an ordered stream of :class:`TaskResult`\\ s.
+The sweep orchestrator (:mod:`repro.runner.sweep`) is the only caller;
+it neither knows nor cares whether points ran inline, across a fresh
+process pool, or on warm persistent workers — every backend obeys the
+same three rules:
+
+* **order** — results are yielded in input order, lazily, so the
+  orchestrator can stream progress while later points still compute;
+* **isolation** — a point that raises is reported as a
+  :class:`TaskResult` with ``error`` set (full traceback text), never
+  as an exception that kills the rest of the sweep.  The orchestrator
+  decides whether to re-raise (:func:`repro.runner.sweep.run_sweep`'s
+  ``on_error`` policy);
+* **purity** — the point function must be a top-level callable and the
+  items JSON-able mappings, exactly the rules sweep declarations
+  already follow.
+
+Backends are registered by name in :data:`BACKENDS`; future backends
+(async, remote workers, sharded dispatch) plug in here without touching
+the orchestrator.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+__all__ = [
+    "BACKENDS",
+    "ExecutionBackend",
+    "TaskResult",
+    "create_backend",
+    "resolve_backend",
+]
+
+PointFn = Callable[[Mapping[str, Any]], Any]
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """One evaluated point, as reported by a backend.
+
+    ``error`` is ``None`` on success, otherwise the formatted traceback
+    text from the worker (process boundaries cannot reliably ship the
+    exception object itself).  ``exception`` carries the original
+    exception where one is available in-process (serial backend and
+    inline fallbacks) so the orchestrator can chain it when re-raising.
+    """
+
+    value: Any
+    seconds: float
+    error: Optional[str] = None
+    exception: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """What the sweep orchestrator requires of an execution backend."""
+
+    name: str
+
+    def map(
+        self, fn: PointFn, items: Sequence[Mapping[str, Any]]
+    ) -> Iterator[TaskResult]:
+        """Yield one :class:`TaskResult` per item, lazily, in order."""
+        ...
+
+    def close(self) -> None:
+        """Release any long-lived resources (worker pools)."""
+        ...
+
+
+def run_one(fn: PointFn, params: Mapping[str, Any]) -> TaskResult:
+    """Evaluate one point inline, capturing failure as a result.
+
+    The shared serial building block: the serial backend, the small-input
+    fast paths of the pooled backends, and the persistent backend's
+    unresolvable-function fallback all route through here, so error
+    capture is identical everywhere.
+    """
+    start = time.perf_counter()
+    try:
+        value = fn(params)
+    except Exception as exc:  # isolate the point, keep the sweep alive
+        return TaskResult(
+            value=None,
+            seconds=time.perf_counter() - start,
+            error=traceback.format_exc(),
+            exception=exc,
+        )
+    return TaskResult(value=value, seconds=time.perf_counter() - start)
+
+
+def pool_context() -> multiprocessing.context.BaseContext:
+    """The pool start-method shared by every process-based backend:
+    ``fork`` where available (no re-import cost, monkeypatched modules
+    and pytest-loaded benchmark modules survive into workers), the
+    platform default elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+#: name -> backend class; classes take a single ``jobs`` constructor arg.
+BACKENDS: Dict[str, Any] = {}
+
+
+def register(cls):
+    """Class decorator adding a backend to the registry by its ``name``."""
+    BACKENDS[cls.name] = cls
+    return cls
+
+
+def create_backend(name: str, jobs: int = 1) -> ExecutionBackend:
+    """Instantiate the backend registered as ``name``.
+
+    Raises ``ValueError`` for unknown names (the CLI turns that into
+    exit code 2).
+    """
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown execution backend {name!r}; "
+            f"available: {', '.join(sorted(BACKENDS))}"
+        ) from None
+    return cls(jobs=jobs)
+
+
+def resolve_backend(
+    backend: "ExecutionBackend | str | None", jobs: int
+) -> Tuple[ExecutionBackend, bool]:
+    """Resolve a backend spec to ``(instance, owned)``.
+
+    ``backend`` may be an instance (campaign-level reuse — the caller
+    keeps ownership, so persistent workers stay warm across sweeps), a
+    registry name, or ``None``/``"auto"``, which preserves the historic
+    default: inline execution for ``jobs <= 1``, a fresh process pool
+    otherwise.  ``owned`` tells the caller whether it must ``close()``
+    the instance when done.
+    """
+    if backend is None or backend == "auto":
+        name = "serial" if jobs <= 1 else "process"
+        return create_backend(name, jobs), True
+    if isinstance(backend, str):
+        return create_backend(backend, jobs), True
+    return backend, False

@@ -1,0 +1,225 @@
+"""Warm-worker persistent pool — the campaign backend.
+
+One long-lived ``multiprocessing`` pool per backend instance, reused
+across every ``map`` call (i.e. across all sweeps of a campaign and
+across repeated campaigns in one session).  Three design points:
+
+* **function shipping** — tasks never pickle the point function.  Each
+  task carries a ``(module, qualname)`` token; a worker resolves the
+  token by import **once**, caches the callable in a per-process
+  registry, and serves every later batch of any sweep using that
+  function from the cache.  The parent verifies the token resolves back
+  to the very callable it was given, so a closure, lambda or
+  monkeypatched function silently falls back to inline execution
+  instead of running the wrong code.
+* **batching** — points are grouped into batches sized to a few batches
+  per worker, amortising the per-task IPC round-trip that dominates
+  cheap points.  Results are flattened back into strict input order.
+* **failure isolation** — a worker wraps every point individually; a
+  raising point yields an errored :class:`TaskResult` while the rest of
+  the batch, the worker, and the pool live on.
+
+Use it whenever one session runs more than one sweep: the pool spin-up
+that the ``process`` backend pays per sweep is paid once here, and
+in-process memo caches inside worker processes (e.g. the robustness
+baseline lookup) stay warm from sweep to sweep.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import (
+    Any,
+    Callable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.runner.backends.base import (
+    PointFn,
+    TaskResult,
+    pool_context,
+    register,
+    run_one,
+)
+
+__all__ = ["PersistentBackend"]
+
+Token = Tuple[str, str]  # (module, qualname)
+
+#: Per-worker registry: token -> resolved point function.
+_FN_CACHE: dict = {}
+#: Test hook installed by the pool initializer; called on cache misses.
+_RESOLVE_PROBE: Optional[Callable[[Token], None]] = None
+
+
+def _init_worker(resolve_probe: Optional[Callable[[Token], None]]) -> None:
+    """Pool initializer: start each worker with an empty function cache."""
+    global _RESOLVE_PROBE
+    _FN_CACHE.clear()
+    _RESOLVE_PROBE = resolve_probe
+
+
+def _resolve(token: Token) -> PointFn:
+    """Import-resolve ``token``; memoized for the worker's lifetime."""
+    fn = _FN_CACHE.get(token)
+    if fn is None:
+        if _RESOLVE_PROBE is not None:
+            _RESOLVE_PROBE(token)
+        module_name, qualname = token
+        obj: Any = importlib.import_module(module_name)
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+        fn = _FN_CACHE[token] = obj
+    return fn
+
+
+def _run_batch(
+    task: Tuple[Token, List[Mapping[str, Any]]]
+) -> List[Tuple[Any, float, Optional[str]]]:
+    """Worker task: evaluate one batch of points with the token's function.
+
+    Every point is isolated; a resolution failure (module vanished
+    between parent check and worker import) errors the whole batch but
+    still returns results instead of raising through the pool.
+    """
+    token, batch = task
+    try:
+        fn = _resolve(token)
+    except Exception:
+        import traceback
+
+        error = traceback.format_exc()
+        return [(None, 0.0, error) for _ in batch]
+    out = []
+    for params in batch:
+        result = run_one(fn, params)
+        out.append((result.value, result.seconds, result.error))
+    return out
+
+
+def _token_for(fn: PointFn) -> Optional[Token]:
+    """The importable address of ``fn``, or ``None`` when it has none.
+
+    ``None`` (lambdas, closures, methods, monkeypatched replacements
+    whose module attribute no longer is ``fn``) routes the call to the
+    inline fallback.
+    """
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if not module or not qualname or "<" in qualname:
+        return None
+    try:
+        obj: Any = importlib.import_module(module)
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+    except Exception:
+        return None
+    return (module, qualname) if obj is fn else None
+
+
+@register
+class PersistentBackend:
+    """A warm worker pool shared by every sweep of a session."""
+
+    name = "persistent"
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        batch_size: Optional[int] = None,
+        resolve_probe: Optional[Callable[[Token], None]] = None,
+    ) -> None:
+        self.jobs = max(1, jobs)
+        self.batch_size = batch_size  # None: sized per map call
+        self._resolve_probe = resolve_probe
+        self._pool = None
+
+    # -- pool lifecycle -------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = pool_context().Pool(
+                processes=self.jobs,
+                initializer=_init_worker,
+                initargs=(self._resolve_probe,),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the pool down; the next ``map`` would start a fresh one."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def terminate(self) -> None:
+        """Drop the pool *now*, abandoning any queued batches.
+
+        The abort path: ``close()`` would first drain everything
+        already submitted, which on an errored sweep means silently
+        simulating the whole remainder before the failure surfaces.
+        """
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "PersistentBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- execution ------------------------------------------------------
+
+    def _batches(
+        self, token: Token, items: Sequence[Mapping[str, Any]]
+    ) -> List[Tuple[Token, List[Mapping[str, Any]]]]:
+        """Slice ``items`` into order-preserving batches.
+
+        Default size targets ~4 batches per worker — large enough to
+        amortise IPC on cheap points, small enough that the tail of a
+        sweep still load-balances across the pool.
+        """
+        size = self.batch_size or max(1, len(items) // (self.jobs * 4))
+        return [
+            (token, list(items[i : i + size]))
+            for i in range(0, len(items), size)
+        ]
+
+    def map(
+        self, fn: PointFn, items: Sequence[Mapping[str, Any]]
+    ) -> Iterator[TaskResult]:
+        if not items:
+            return
+        token = _token_for(fn)
+        if token is None or self.jobs <= 1:
+            # Unshippable function, or nothing to fan out over: inline
+            # is byte-identical and cheaper.
+            for params in items:
+                yield run_one(fn, params)
+            return
+        pool = self._ensure_pool()
+        results = pool.imap(_run_batch, self._batches(token, items), chunksize=1)
+        delivered = 0
+        try:
+            for batch_result in results:
+                for value, seconds, error in batch_result:
+                    delivered += 1  # before the yield: a close() while
+                    # suspended there must count this result as served
+                    yield TaskResult(value=value, seconds=seconds, error=error)
+        except GeneratorExit:
+            # Closed by the consumer.  After the final result the frame
+            # is still suspended at its last yield, so a close() on a
+            # fully-served sweep lands here too — and must leave the
+            # warm pool alone.  Only a genuine mid-sweep abandonment
+            # (error abort with work still queued) terminates the pool:
+            # the queued batches must not silently run to completion.
+            if delivered < len(items):
+                self.terminate()
+            raise

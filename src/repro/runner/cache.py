@@ -1,18 +1,41 @@
 """Content-addressed on-disk cache for sweep-point results.
 
 Layout: one JSON file per point, ``<root>/<sweep-name>/<key>.json``,
-where ``key`` is the :func:`repro.runner.hashing.point_key` digest.
-Entries embed the key and parameters that produced them, so a cache
-directory is self-describing and human-readable.  (Entries may contain
-``NaN`` tokens — Python's JSON dialect — where an experiment reports a
-missing paper value, so strict-JSON consumers need ``parse_constant``.)
+where ``key`` is the :func:`repro.runner.hashing.point_key` digest,
+plus one append-only **manifest** per sweep directory,
+``<root>/<sweep-name>/MANIFEST.jsonl``, journalling every entry written
+or healed away.  Entries embed the key and parameters that produced
+them, so a cache directory is self-describing and human-readable.
+(Entries may contain ``NaN`` tokens — Python's JSON dialect — where an
+experiment reports a missing paper value, so strict-JSON consumers need
+``parse_constant``.)
+
+The manifest is the cache's index: ``cache info`` (:meth:`ResultCache.
+stats`) and sweep resume (:meth:`ResultCache.manifest_keys`) fold the
+journal instead of globbing and stat-ing every entry file, so their
+cost is one small file read per sweep regardless of entry count.
+Journal records are single JSON lines::
+
+    {"op": "put", "key": "<digest>", "bytes": N, "created": T}
+    {"op": "del", "key": "<digest>"}
+
+and the index is the fold: last ``put`` wins, ``del`` removes.
 
 Robustness rules:
 
-* writes are atomic (temp file + :func:`os.replace`), so a killed run
-  never leaves a half-written entry;
+* entry writes are atomic (temp file + :func:`os.replace`), so a killed
+  run never leaves a half-written entry;
 * unreadable, truncated, or key-mismatched entries are treated as
-  misses and deleted, so a corrupted cache heals itself on the next run.
+  misses and deleted (with a ``del`` journal record), so a corrupted
+  cache heals itself on the next run;
+* manifest appends are single ``O_APPEND`` writes of one line, safe
+  under concurrent writers;
+* a missing, torn, or corrupt manifest — or a pre-manifest legacy
+  sweep directory — is rebuilt from the entry files themselves
+  (:meth:`ResultCache.rebuild_manifest`): the entry files are always
+  the ground truth, the manifest only an index over them.  The manifest
+  being advisory is also what makes it resume-safe: a stale listing is
+  re-validated by :meth:`get` before anything trusts it.
 """
 
 from __future__ import annotations
@@ -24,13 +47,24 @@ import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterator, Mapping, Tuple
+from typing import Any, Dict, Iterator, Mapping, Set, Tuple
 
 from repro.runner.hashing import point_key
 
 __all__ = ["CacheStats", "ResultCache", "cached_call", "default_cache_dir"]
 
 _FORMAT = 1  # bump to invalidate every existing entry
+_MANIFEST = "MANIFEST.jsonl"
+
+
+def _cache_disabled() -> bool:
+    """Whether ``$REPRO_CACHE_DISABLE`` asks to bypass the store.
+
+    Conventional 'off' spellings (unset, empty, ``0``, ``false``,
+    ``no``) leave the cache on.
+    """
+    value = os.environ.get("REPRO_CACHE_DISABLE", "")
+    return value.strip().lower() not in ("", "0", "false", "no")
 
 
 def default_cache_dir() -> Path:
@@ -60,6 +94,12 @@ class ResultCache:
         """Entry location for ``key`` in sweep namespace ``sweep``."""
         return self.root / sweep / f"{key}.json"
 
+    def manifest_path(self, sweep: str) -> Path:
+        """The sweep's journal file."""
+        return self.root / sweep / _MANIFEST
+
+    # -- entries --------------------------------------------------------
+
     def get(self, sweep: str, key: str) -> Tuple[Any, bool]:
         """Look up ``key``; returns ``(value, hit)``.
 
@@ -77,6 +117,11 @@ class ResultCache:
         except (OSError, ValueError, KeyError, TypeError):
             try:
                 path.unlink(missing_ok=True)
+                # Record the heal — but never *create* a manifest out of
+                # a lone del record: a legacy directory must keep looking
+                # index-less so the next read rebuilds it in full.
+                if self.manifest_path(sweep).exists():
+                    self._append_manifest(sweep, {"op": "del", "key": key})
             except OSError:
                 pass  # e.g. a read-only shared cache: miss, don't crash
             return None, False
@@ -94,23 +139,139 @@ class ResultCache:
             },
             indent=None,
         )
+        data = blob.encode("utf-8")
         path = self.path_for(sweep, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(blob)
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
             os.replace(tmp, path)
         except BaseException:
             Path(tmp).unlink(missing_ok=True)
             raise
+        try:
+            manifest = self.manifest_path(sweep)
+            if not manifest.exists() and any(
+                p.suffix == ".json" and p.name != f"{key}.json"
+                for p in path.parent.iterdir()
+            ):
+                # First write into a pre-manifest (legacy) sweep
+                # directory: index the existing entries too.
+                self.rebuild_manifest(sweep)
+                return
+            self._append_manifest(
+                sweep,
+                {"op": "put", "key": key, "bytes": len(data),
+                 "created": time.time()},
+            )
+        except OSError:
+            pass  # entry files are the ground truth; the index can wait
+
+    # -- manifest -------------------------------------------------------
+
+    def _append_manifest(self, sweep: str, record: Mapping[str, Any]) -> None:
+        """Append one journal line with a single atomic ``O_APPEND`` write."""
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        path = self.manifest_path(sweep)
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line.encode())
+        finally:
+            os.close(fd)
+
+    def _read_manifest(self, sweep: str) -> Dict[str, int] | None:
+        """Fold the journal into ``{key: bytes}``, or ``None`` when the
+        manifest is absent or any line is unparsable (torn concurrent
+        write, manual edit) — the caller rebuilds from entry files."""
+        try:
+            text = self.manifest_path(sweep).read_text()
+        except OSError:
+            return None
+        live: Dict[str, int] = {}
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                op, key = record["op"], record["key"]
+            except (ValueError, KeyError, TypeError):
+                return None
+            if op == "put":
+                live[key] = int(record.get("bytes", 0))
+            elif op == "del":
+                live.pop(key, None)
+            else:
+                return None
+        return live
+
+    def rebuild_manifest(self, sweep: str) -> Dict[str, int]:
+        """Re-derive the sweep's index from its entry files.
+
+        The self-healing path: keys are the entry filenames and sizes
+        come from ``stat``, so no entry is opened.  The new manifest is
+        written atomically (temp file + replace); a concurrent append
+        racing the replace loses at most its own record, which the next
+        ``put`` of that key — or the next rebuild — restores.  On a
+        read-only cache the derived index is returned without being
+        persisted (re-derived on every read — correct, just not O(1)).
+        """
+        target = self.root / sweep
+        live: Dict[str, int] = {}
+        if target.is_dir():
+            for path in target.glob("*.json"):
+                try:
+                    live[path.stem] = path.stat().st_size
+                except OSError:
+                    continue  # vanished mid-scan
+        else:
+            return live
+        lines = "".join(
+            json.dumps({"op": "put", "key": key, "bytes": size},
+                       separators=(",", ":")) + "\n"
+            for key, size in sorted(live.items())
+        )
+        try:
+            fd, tmp = tempfile.mkstemp(dir=target, suffix=".tmp")
+        except OSError:
+            return live  # e.g. a read-only shared cache
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(lines)
+            os.replace(tmp, self.manifest_path(sweep))
+        except OSError:
+            Path(tmp).unlink(missing_ok=True)
+        except BaseException:
+            Path(tmp).unlink(missing_ok=True)
+            raise
+        return live
+
+    def manifest(self, sweep: str) -> Dict[str, int]:
+        """The sweep's live index, ``{key: bytes}`` (healed if needed)."""
+        live = self._read_manifest(sweep)
+        if live is None:
+            live = self.rebuild_manifest(sweep)
+        return live
+
+    def manifest_keys(self, sweep: str) -> Set[str]:
+        """Keys the index lists for ``sweep`` — the resume fast path.
+
+        One journal read, O(1) in the number of *other* sweeps' entries
+        and independent of entry sizes.  Listings are advisory: callers
+        must still :meth:`get` (which validates) before trusting one.
+        """
+        return set(self.manifest(sweep))
+
+    # -- aggregate views ------------------------------------------------
 
     def entries(self) -> Iterator[Path]:
         """All entry files currently on disk.
 
         A snapshot, not a lock: a concurrent sweep or :meth:`clear` may
         remove a listed file before the caller touches it, so consumers
-        must tolerate vanished paths (as :meth:`stats` does).
+        must tolerate vanished paths.  (:meth:`stats` no longer walks
+        this — it folds the manifests — but :meth:`clear` and the
+        rebuild path still ground-truth against the files.)
         """
         if not self.root.is_dir():
             return iter(())
@@ -119,24 +280,34 @@ class ResultCache:
     def stats(self) -> CacheStats:
         """Entry count, total size, and the sweep namespaces present.
 
-        Entries removed between the directory scan and the ``stat`` call
-        (a concurrent sweep writing/clearing the same cache) are simply
-        skipped — never an exception.
+        Reads one manifest per sweep directory — never the entry files
+        themselves — so ``cache info`` costs O(sweeps), not O(entries).
+        Sweep directories without a readable manifest (legacy caches,
+        torn journals) are healed by :meth:`rebuild_manifest` on the
+        way through.
         """
         count = 0
         size = 0
-        sweeps: set[str] = set()
-        for path in self.entries():
-            try:
-                size += path.stat().st_size
-            except OSError:  # vanished mid-scan (FileNotFoundError et al.)
-                continue
-            count += 1
-            sweeps.add(path.parent.name)
-        return CacheStats(entries=count, bytes=size, sweeps=tuple(sorted(sweeps)))
+        sweeps = []
+        if self.root.is_dir():
+            for child in sorted(self.root.iterdir()):
+                if not child.is_dir():
+                    continue
+                live = self.manifest(child.name)
+                if not live:
+                    continue
+                count += len(live)
+                size += sum(live.values())
+                sweeps.append(child.name)
+        return CacheStats(entries=count, bytes=size, sweeps=tuple(sweeps))
 
     def clear(self, sweep: str | None = None) -> int:
-        """Delete all entries (or one sweep's); returns the count removed."""
+        """Delete all entries (or one sweep's); returns the count removed.
+
+        Counting ground-truths against the entry files (not the index):
+        ``clear`` is the maintenance path, and the manifest dies with
+        its directory anyway.
+        """
         removed = 0
         if sweep is not None:
             target = self.root / sweep
@@ -161,10 +332,22 @@ def cached_call(
 ):
     """Memoize ``fn(*args, **kwargs)`` in the sweep cache.
 
-    Used by the benchmark harness so repeated ``pytest benchmarks/``
-    runs are warm.  Results that are not JSON-serialisable (e.g. trace
-    objects) are computed normally and simply not cached.
+    Used by the benchmark harness (so repeated ``pytest benchmarks/``
+    runs are warm) and by point functions that share expensive
+    sub-results across points and processes, e.g. the robustness
+    sweep's stationary baselines.  Results that are not JSON-serialisable
+    (e.g. trace objects) are computed normally and simply not cached.
+
+    When no explicit ``cache`` is given the store lives at
+    :func:`default_cache_dir` (``$REPRO_CACHE_DIR``), and setting
+    ``$REPRO_CACHE_DISABLE`` (to anything but ``0``/``false``/``no``)
+    bypasses the store — the CLI exports both for the duration of a
+    ``sweep`` invocation, so ``--cache-dir``/``--no-cache`` also
+    govern the ``cached_call`` lookups made inside worker processes.
+    An explicitly passed ``cache`` always wins over the kill switch.
     """
+    if cache is None and _cache_disabled():
+        return fn(*args, **kwargs)
     cache = cache or ResultCache()
     try:
         params = {"tag": tag, "args": list(args), "kwargs": kwargs}
@@ -177,6 +360,9 @@ def cached_call(
     value = fn(*args, **kwargs)
     try:
         cache.put("bench", key, params, value)
-    except TypeError:
+    except (TypeError, OSError):
+        # Not JSON-able, or the store is unwritable (read-only shared
+        # cache): degrade to compute-without-caching, never crash a
+        # point function over its memo store.
         pass
     return value

@@ -3,10 +3,12 @@
 A :class:`Sweep` is a named list of parameter *points* plus a pure
 per-point function; a :class:`Campaign` is an ordered collection of
 sweeps (one experiment module may expose several, e.g. the LU study).
-:func:`run_sweep` fans the points out over a process pool, consults the
-content-addressed result cache first, streams progress back through a
-callback, and hands the ordered point results to the sweep's
-``aggregate`` hook to build the experiment's published rows.
+:func:`run_sweep` consults the content-addressed result cache first,
+fans the remaining points out over an execution backend
+(:mod:`repro.runner.backends` — inline, fresh process pool, or warm
+persistent workers), streams ordered progress back through a callback
+as each point resolves, and hands the ordered point results to the
+sweep's ``aggregate`` hook to build the experiment's published rows.
 
 Design rules the experiment modules follow:
 
@@ -14,9 +16,9 @@ Design rules the experiment modules follow:
   stably (:mod:`repro.runner.hashing`) and cross process boundaries;
 * **the point function is pure and top-level** — it rebuilds platform /
   workload objects from the point's parameters, returns JSON-able
-  values, and is picklable by reference for the pool;
+  values, and is importable by reference for the pooled backends;
 * **aggregation is deterministic in point order** — results are always
-  delivered to ``aggregate`` in declaration order, so serial, parallel
+  delivered to ``aggregate`` in declaration order, so serial, pooled
   and cached runs produce byte-identical rows.
 """
 
@@ -27,16 +29,18 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.runner.backends import ExecutionBackend, resolve_backend
 from repro.runner.cache import ResultCache
 from repro.runner.hashing import code_version, point_key
-from repro.runner.pool import parallel_map
 
 __all__ = [
     "Campaign",
     "CampaignResult",
+    "FAILED",
     "PointOutcome",
     "Progress",
     "Sweep",
+    "SweepPointError",
     "SweepResult",
     "run_campaign",
     "run_sweep",
@@ -50,15 +54,18 @@ def stamp_points(
     """Stamp shared knob values into every point of a sweep.
 
     The uniform way experiment declarations thread cross-cutting knobs
-    (currently the simulation ``engine``) into their points: the knob
-    lands in each point mapping, so it reaches the pure per-point
-    function, participates in the cache key, and crosses process
-    boundaries like any other parameter.  ``None`` values are skipped
-    (knob not applicable / leave the per-point default).
+    (the simulation ``engine``, the execution ``backend``) into their
+    points: the knob lands in each point mapping, so it reaches the pure
+    per-point function, participates in the cache key, and crosses
+    process boundaries like any other parameter.  ``None`` values are
+    skipped (knob not applicable / leave the per-point default).
 
     Stamping deliberately splits the cache namespace per knob value —
     even for sweeps where a knob is inert — so cache entries always
-    record exactly the parameters the point ran with.
+    record exactly the parameters the point ran with.  (That is what
+    makes the CI backend matrix meaningful: each backend computes its
+    own entries, and the rows can be compared for byte-identity instead
+    of the later backends trivially replaying the first one's cache.)
     """
     common = {k: v for k, v in common.items() if v is not None}
     if not common:
@@ -68,6 +75,23 @@ def stamp_points(
 
 PointFn = Callable[[Mapping[str, Any]], Any]
 AggregateFn = Callable[[List[Any]], Any]
+
+
+class SweepPointError(RuntimeError):
+    """A sweep point raised and the ``on_error="raise"`` policy is active.
+
+    Carries the failing sweep/params and the worker's formatted
+    traceback; the original exception object is chained (``__cause__``)
+    when the point ran in-process.
+    """
+
+    def __init__(self, sweep: str, params: Mapping[str, Any], error: str):
+        self.sweep = sweep
+        self.params = dict(params)
+        self.error = error
+        super().__init__(
+            f"point {self.params!r} of sweep {sweep!r} failed:\n{error}"
+        )
 
 
 def _normalize(value: Any) -> Any:
@@ -85,8 +109,21 @@ def _normalize(value: Any) -> Any:
         return value
 
 
+#: Placeholder for a failed point's slot in the values an aggregate
+#: sees under ``on_error="keep"`` — a sentinel rather than ``None`` so
+#: a point function that legitimately returns ``None`` is never
+#: confused with a failure.
+FAILED = object()
+
+
 def _concat(values: List[Any]) -> Any:
-    """Default aggregation: concatenate list results, else keep the list."""
+    """Default aggregation: concatenate list results, else keep the list.
+
+    :data:`FAILED` holes (failed points under ``on_error="keep"``) are
+    dropped; successful rows — including legitimate ``None`` results —
+    still publish.
+    """
+    values = [v for v in values if v is not FAILED]
     if values and all(isinstance(v, list) for v in values):
         rows: List[Any] = []
         for v in values:
@@ -130,7 +167,7 @@ class Campaign:
 
 @dataclass(frozen=True)
 class Progress:
-    """One progress event, emitted as each point resolves (in order)."""
+    """One progress event, streamed as each point resolves (in order)."""
 
     sweep: str
     index: int
@@ -138,18 +175,27 @@ class Progress:
     params: Mapping[str, Any]
     cached: bool
     seconds: float
+    status: str = "ok"
 
 
 @dataclass(frozen=True)
 class PointOutcome:
     """A resolved point: parameters, cache key (empty string when run
-    without a cache), value, provenance."""
+    without a cache), value, provenance.
+
+    ``status`` is ``"ok"`` or ``"error"``; errored points (only possible
+    under ``on_error="keep"``) carry the worker traceback in ``error``,
+    a ``None`` value, and are never written to the cache — a later
+    ``--resume`` run re-computes exactly those.
+    """
 
     params: Mapping[str, Any]
     key: str
     value: Any
     cached: bool
     seconds: float
+    status: str = "ok"
+    error: Optional[str] = None
 
 
 @dataclass
@@ -168,8 +214,13 @@ class SweepResult:
         return sum(1 for o in self.outcomes if o.cached)
 
     @property
+    def errors(self) -> int:
+        """Points that failed (kept under ``on_error="keep"``)."""
+        return sum(1 for o in self.outcomes if o.status == "error")
+
+    @property
     def misses(self) -> int:
-        """Points actually computed this run."""
+        """Points actually computed this run (successfully or not)."""
         return len(self.outcomes) - self.hits
 
 
@@ -189,6 +240,10 @@ class CampaignResult:
         return sum(s.misses for s in self.sweeps)
 
     @property
+    def errors(self) -> int:
+        return sum(s.errors for s in self.sweeps)
+
+    @property
     def elapsed(self) -> float:
         return sum(s.elapsed for s in self.sweeps)
 
@@ -204,6 +259,9 @@ def run_sweep(
     cache: ResultCache | None = None,
     progress: Callable[[Progress], None] | None = None,
     code: str | None = None,
+    backend: ExecutionBackend | str | None = None,
+    resume: bool = False,
+    on_error: str = "raise",
 ) -> SweepResult:
     """Evaluate every point of ``sweep``, cheapest source first.
 
@@ -213,13 +271,39 @@ def run_sweep(
         cache: result cache, or ``None`` to recompute everything and
             write nothing (the default — library callers like the
             experiments' ``run()`` helpers stay side-effect free).
-        progress: callback fired once per point, in point order.
+        progress: callback streamed one event per point, in point
+            order, as each point resolves (cached points immediately,
+            computed points as the backend delivers them).
         code: code-version override for the cache keys (tests only).
+        backend: execution backend — a registry name (``"serial"``,
+            ``"process"``, ``"persistent"``), an already-constructed
+            :class:`~repro.runner.backends.ExecutionBackend` (the
+            campaign path: pass one instance to keep persistent workers
+            warm across sweeps), or ``None``/``"auto"`` for the historic
+            default (inline when ``jobs <= 1``, fresh pool otherwise).
+        resume: consult the sweep's cache manifest (one O(1) index
+            read) for which points already exist instead of probing
+            every entry file; points missing from the index — the tail
+            a killed run never wrote, or failed points, which are never
+            cached — are recomputed, everything else is loaded.
+            Requires ``cache``.
+        on_error: ``"raise"`` (default) re-raises the first failing
+            point as :class:`SweepPointError`; ``"keep"`` records the
+            failure as a ``status="error"`` outcome and keeps the
+            sweep running.  Aggregation then sees the failed points as
+            :data:`FAILED` sentinel holes in their original positions
+            (the default aggregation drops them; a custom aggregate
+            that raises on the holes yields the successful values
+            unaggregated).
 
     Point results reach ``sweep.aggregate`` in declaration order no
-    matter which points were cached or how many processes ran, so the
-    aggregated rows are identical across all execution modes.
+    matter which points were cached or which backend ran the rest, so
+    the aggregated rows are identical across all execution modes.
     """
+    if resume and cache is None:
+        raise ValueError("resume=True requires a cache")
+    if on_error not in ("raise", "keep"):
+        raise ValueError(f"on_error must be 'raise' or 'keep', got {on_error!r}")
     start = time.perf_counter()
     total = len(sweep.points)
     if cache and code is None:
@@ -230,41 +314,79 @@ def run_sweep(
     keys = [point_key(sweep.name, p, code) for p in sweep.points] if cache else []
     resolved: List[Optional[PointOutcome]] = [None] * total
 
+    known = cache.manifest_keys(sweep.name) if (cache and resume) else None
     missing: List[int] = []
     for idx, params in enumerate(sweep.points):
-        if cache:
+        if cache and (known is None or keys[idx] in known):
+            # A manifest listing is a hint, not a promise: get() still
+            # validates the entry file and reports a stale index entry
+            # (deleted/corrupted file) as a miss to recompute.
             value, hit = cache.get(sweep.name, keys[idx])
             if hit:
                 resolved[idx] = PointOutcome(params, keys[idx], value, True, 0.0)
                 continue
         missing.append(idx)
 
-    miss_points = [sweep.points[i] for i in missing]
-    for slot, (value, seconds) in zip(
-        missing, parallel_map(sweep.run_fn, miss_points, jobs)
-    ):
-        value = _normalize(value)
-        key = keys[slot] if cache else ""
-        if cache:
-            cache.put(sweep.name, key, sweep.points[slot], value)
-        resolved[slot] = PointOutcome(sweep.points[slot], key, value, False, seconds)
-
+    exec_backend, owned = resolve_backend(backend, jobs)
     result = SweepResult(name=sweep.name, title=sweep.title)
-    for idx, outcome in enumerate(resolved):
-        assert outcome is not None  # every slot is either cached or computed
-        result.outcomes.append(outcome)
-        if progress:
-            progress(
-                Progress(
-                    sweep=sweep.name,
-                    index=idx,
-                    total=total,
-                    params=outcome.params,
-                    cached=outcome.cached,
-                    seconds=outcome.seconds,
+    miss_points = [sweep.points[i] for i in missing]
+    computed = exec_backend.map(sweep.run_fn, miss_points)
+    try:
+        for idx in range(total):
+            outcome = resolved[idx]
+            if outcome is None:
+                task = next(computed)
+                params, key = sweep.points[idx], keys[idx] if cache else ""
+                if task.error is not None:
+                    if on_error == "raise":
+                        raise SweepPointError(
+                            sweep.name, params, task.error
+                        ) from task.exception
+                    outcome = PointOutcome(
+                        params, key, None, False, task.seconds,
+                        status="error", error=task.error,
+                    )
+                else:
+                    value = _normalize(task.value)
+                    if cache:
+                        cache.put(sweep.name, key, params, value)
+                    outcome = PointOutcome(params, key, value, False, task.seconds)
+            result.outcomes.append(outcome)
+            if progress:
+                progress(
+                    Progress(
+                        sweep=sweep.name,
+                        index=idx,
+                        total=total,
+                        params=outcome.params,
+                        cached=outcome.cached,
+                        seconds=outcome.seconds,
+                        status=outcome.status,
+                    )
                 )
-            )
-    result.rows = sweep.rows([o.value for o in result.outcomes])
+    finally:
+        close = getattr(computed, "close", None)
+        if close is not None:
+            close()  # tear down a mid-sweep pool on error paths
+        if owned:
+            exec_backend.close()
+    # Aggregates are positional, so they always see the full-length
+    # values list — failed points (on_error="keep") appear as the
+    # :data:`FAILED` sentinel in their slots rather than silently
+    # shifting later values into earlier ones.  The default aggregation
+    # drops the holes; a custom aggregate that cannot digest them falls
+    # back to the successful values unaggregated (a partial sweep has
+    # no trustworthy table).
+    values = [
+        o.value if o.status == "ok" else FAILED for o in result.outcomes
+    ]
+    if result.errors == 0:
+        result.rows = sweep.rows(values)
+    else:
+        try:
+            result.rows = sweep.rows(values)
+        except Exception:
+            result.rows = [v for v in values if v is not FAILED]
     result.elapsed = time.perf_counter() - start
     return result
 
@@ -275,9 +397,28 @@ def run_campaign(
     cache: ResultCache | None = None,
     progress: Callable[[Progress], None] | None = None,
     code: str | None = None,
+    backend: ExecutionBackend | str | None = None,
+    resume: bool = False,
+    on_error: str = "raise",
 ) -> CampaignResult:
-    """Run every sweep of ``campaign`` in order; see :func:`run_sweep`."""
+    """Run every sweep of ``campaign`` in order; see :func:`run_sweep`.
+
+    The backend is resolved **once** for the whole campaign, so a
+    ``"persistent"`` spec keeps its warm workers (and their in-process
+    memo caches) alive from sweep to sweep — the scenario that backend
+    exists for.
+    """
+    exec_backend, owned = resolve_backend(backend, jobs)
     result = CampaignResult(name=campaign.name)
-    for sweep in campaign.sweeps:
-        result.sweeps.append(run_sweep(sweep, jobs, cache, progress, code))
+    try:
+        for sweep in campaign.sweeps:
+            result.sweeps.append(
+                run_sweep(
+                    sweep, jobs, cache, progress, code,
+                    backend=exec_backend, resume=resume, on_error=on_error,
+                )
+            )
+    finally:
+        if owned:
+            exec_backend.close()
     return result

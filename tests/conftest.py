@@ -1,0 +1,18 @@
+"""Suite-wide fixtures.
+
+Every test gets a throwaway sweep-cache location: code under test may
+reach the default store through ``cached_call`` (e.g. the robustness
+baselines) from this process *or* from forked worker pools, and
+nothing a test does should read from — or leak into — the developer's
+real ``~/.cache/repro-sweeps``.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_sweep_cache(tmp_path_factory, monkeypatch):
+    monkeypatch.setenv(
+        "REPRO_CACHE_DIR", str(tmp_path_factory.mktemp("sweep-cache"))
+    )
+    monkeypatch.delenv("REPRO_CACHE_DISABLE", raising=False)

@@ -1,0 +1,232 @@
+"""End-to-end tests for the ``python -m repro`` command line.
+
+Everything goes through :func:`repro.__main__.main` with an explicit
+argv, asserting exit codes, ``--backend``/``--resume``/``--keep-going``
+plumbing, and the human-readable output the CI smoke jobs grep for.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.runner import ResultCache
+
+
+def _sweep_argv(tmp_path, *extra):
+    return [
+        "sweep", "maxreuse", "--cache-dir", str(tmp_path), "--quiet", *extra
+    ]
+
+
+class TestExitCodes:
+    def test_list_is_zero(self, capsys):
+        assert cli_main([]) == 0
+        out = capsys.readouterr().out
+        assert "Available experiments" in out and "--backend" in out
+
+    def test_unknown_experiment_is_two(self, capsys):
+        assert cli_main(["sweep", "nonsense"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_bad_backend_is_two(self, tmp_path, capsys):
+        assert cli_main(_sweep_argv(tmp_path, "--backend", "quantum")) == 2
+
+    def test_resume_without_cache_is_two(self, tmp_path, capsys):
+        argv = _sweep_argv(tmp_path, "--resume", "--no-cache")
+        assert cli_main(argv) == 2
+        assert "--resume needs the cache" in capsys.readouterr().out
+
+    def test_sweep_help_is_zero(self, capsys):
+        with pytest.MonkeyPatch.context():
+            assert cli_main(["sweep", "--help"]) == 0
+        assert "--backend" in capsys.readouterr().out
+
+    def test_bad_cache_action_is_two(self, tmp_path):
+        assert cli_main(["cache", "explode", "--cache-dir", str(tmp_path)]) == 2
+
+
+class TestBackendPlumbing:
+    @pytest.mark.parametrize("backend", ["serial", "process", "persistent"])
+    def test_backend_runs_and_stamps(self, backend, tmp_path, capsys):
+        argv = _sweep_argv(tmp_path, "--backend", backend, "--jobs", "2")
+        assert cli_main(argv) == 0
+        assert "maxreuse: 0 cached, 1 computed" in capsys.readouterr().out
+        # The explicit backend is stamped into the cached entry's params.
+        [entry] = [
+            p for p in (tmp_path / "maxreuse").glob("*.json")
+        ]
+        params = json.loads(entry.read_text())["params"]
+        assert params["backend"] == backend
+
+    def test_backends_keep_separate_cache_namespaces(self, tmp_path, capsys):
+        for backend in ("serial", "process"):
+            assert cli_main(_sweep_argv(tmp_path, "--backend", backend)) == 0
+        capsys.readouterr()
+        assert len(list((tmp_path / "maxreuse").glob("*.json"))) == 2
+
+    def test_auto_backend_leaves_points_unstamped(self, tmp_path, capsys):
+        assert cli_main(_sweep_argv(tmp_path)) == 0
+        capsys.readouterr()
+        [entry] = list((tmp_path / "maxreuse").glob("*.json"))
+        assert "backend" not in json.loads(entry.read_text())["params"]
+
+    def test_warm_rerun_is_fully_cached(self, tmp_path, capsys):
+        argv = _sweep_argv(tmp_path, "--backend", "persistent")
+        assert cli_main(argv) == 0
+        capsys.readouterr()
+        assert cli_main(argv) == 0
+        assert "maxreuse: 1 cached, 0 computed" in capsys.readouterr().out
+
+
+class TestResume:
+    def test_resume_recomputes_only_missing(self, tmp_path, capsys):
+        """Simulate a killed run: drop one entry file (the manifest still
+        lists it) and ``--resume`` must recompute exactly that point."""
+        argv = ["sweep", "bounds", "--cache-dir", str(tmp_path), "--quiet"]
+        assert cli_main(argv) == 0
+        cold = capsys.readouterr().out
+        cache = ResultCache(tmp_path)
+        keys = sorted(cache.manifest_keys("bounds"))
+        assert len(keys) >= 2
+        cache.path_for("bounds", keys[0]).unlink()
+
+        assert cli_main([*argv, "--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert f"bounds: {len(keys) - 1} cached, 1 computed" in resumed
+        # The published table is identical to the uninterrupted run's.
+        strip = lambda out: [  # noqa: E731
+            line for line in out.splitlines() if " in " not in line
+        ]
+        assert strip(resumed) == strip(cold)
+
+    def test_resume_on_complete_cache_computes_nothing(self, tmp_path, capsys):
+        argv = _sweep_argv(tmp_path)
+        assert cli_main(argv) == 0
+        capsys.readouterr()
+        assert cli_main([*argv, "--resume"]) == 0
+        assert "maxreuse: 1 cached, 0 computed" in capsys.readouterr().out
+
+
+class TestCacheCommand:
+    def test_info_reports_manifest_counts(self, tmp_path, capsys):
+        ResultCache(tmp_path).put("s", "k", {}, 1)
+        assert cli_main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries   : 1" in out and "sweeps    : s" in out
+
+    def test_info_never_opens_entry_files(self, tmp_path, capsys, monkeypatch):
+        """Acceptance: ``cache info`` is an index read, not a glob."""
+        cache = ResultCache(tmp_path)
+        for i in range(5):
+            cache.put("s", f"k{i}", {"i": i}, i)
+
+        def forbidden(self, *a, **k):
+            raise AssertionError("cache info touched the entry files")
+
+        monkeypatch.setattr(ResultCache, "entries", forbidden)
+        monkeypatch.setattr(ResultCache, "rebuild_manifest", forbidden)
+        assert cli_main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        assert "entries   : 5" in capsys.readouterr().out
+
+    def test_rebuild_restores_corrupt_manifest(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put("s", f"k{i}", {"i": i}, i)
+        cache.manifest_path("s").write_text("torn{garbage\n")
+        assert cli_main(["cache", "rebuild", "--cache-dir", str(tmp_path)]) == 0
+        assert "rebuilt manifests for 3 entries" in capsys.readouterr().out
+        assert cache.stats().entries == 3
+
+    def test_clear(self, tmp_path, capsys):
+        ResultCache(tmp_path).put("s", "k", {}, 1)
+        assert cli_main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert ResultCache(tmp_path).stats().entries == 0
+
+
+class TestCacheEnvExport:
+    """--cache-dir/--no-cache must also govern worker-side cached_call
+    lookups (exported via the environment for the invocation), and the
+    environment must be restored afterwards."""
+
+    def test_cache_dir_reaches_cached_call(self, tmp_path, capsys):
+        """The robustness baselines (cached_call inside the point fn)
+        land under --cache-dir, not the default store."""
+        import os
+
+        default_store = os.environ["REPRO_CACHE_DIR"]  # set by conftest
+        argv = [
+            "sweep", "robustness", "--scale", "8", "--scenario",
+            "dropout:0.25", "--cache-dir", str(tmp_path), "--quiet",
+        ]
+        assert cli_main(argv) == 0
+        capsys.readouterr()
+        assert (tmp_path / "bench").is_dir()  # baselines under --cache-dir
+        assert not list(ResultCache(default_store).entries())
+        assert os.environ["REPRO_CACHE_DIR"] == default_store  # restored
+
+    def test_enabled_cache_overrides_inherited_kill_switch(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """REPRO_CACHE_DISABLE=1 left in the shell must not defeat an
+        invocation that explicitly asks for caching."""
+        import os
+
+        monkeypatch.setenv("REPRO_CACHE_DISABLE", "1")
+        argv = _sweep_argv(tmp_path)
+        assert cli_main(argv) == 0
+        capsys.readouterr()
+        assert ResultCache(tmp_path).stats().entries == 1  # cache used
+        assert os.environ["REPRO_CACHE_DISABLE"] == "1"  # restored
+
+    def test_no_cache_writes_no_baselines_anywhere(self, tmp_path, capsys):
+        import os
+
+        default_store = os.environ["REPRO_CACHE_DIR"]
+        argv = [
+            "sweep", "robustness", "--scale", "8", "--scenario",
+            "dropout:0.25", "--cache-dir", str(tmp_path), "--no-cache",
+            "--quiet",
+        ]
+        assert cli_main(argv) == 0
+        capsys.readouterr()
+        assert not list(tmp_path.rglob("*.json"))
+        assert not list(ResultCache(default_store).entries())
+        assert "REPRO_CACHE_DISABLE" not in os.environ  # restored
+
+
+class TestKeepGoing:
+    def test_keep_going_reports_failures_and_exits_one(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """A failing point under --keep-going yields the partial table,
+        a failure count in the summary, and exit code 1."""
+        import repro.experiments.bounds as bounds
+
+        real_point = bounds._point
+
+        def flaky(params):
+            if params["m"] == bounds.DEFAULT_MEMORIES[1]:
+                raise RuntimeError("injected failure")
+            return real_point(params)
+
+        monkeypatch.setattr(bounds, "_point", flaky)
+        argv = [
+            "sweep", "bounds", "--cache-dir", str(tmp_path), "--quiet",
+            "--keep-going",
+        ]
+        assert cli_main(argv) == 1
+        out = capsys.readouterr().out
+        assert "(1 failed)" in out
+
+    def test_default_aborts_with_exit_one(self, tmp_path, capsys, monkeypatch):
+        import repro.experiments.bounds as bounds
+
+        def always_fail(params):
+            raise RuntimeError("injected failure")
+
+        monkeypatch.setattr(bounds, "_point", always_fail)
+        argv = ["sweep", "bounds", "--cache-dir", str(tmp_path), "--quiet"]
+        assert cli_main(argv) == 1
+        assert "sweep failed" in capsys.readouterr().err

@@ -271,6 +271,55 @@ class TestCachedCall:
         assert first is not second  # computed each time, never cached
         assert cache.stats().entries == 0
 
+    def test_disable_env_bypasses_store(self, tmp_path, monkeypatch):
+        """$REPRO_CACHE_DISABLE (the CLI's --no-cache export) must keep
+        default-store cached_call from reading or writing anything."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CACHE_DISABLE", "1")
+        calls = []
+        fn = lambda x: (calls.append(x), x * 2)[1]  # noqa: E731
+        assert cached_call("t", fn, 21) == 42
+        assert cached_call("t", fn, 21) == 42
+        assert calls == [21, 21]  # computed twice
+        assert ResultCache(tmp_path).stats().entries == 0  # nothing written
+
+    def test_disable_env_off_spellings_keep_cache_on(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        calls = []
+        fn = lambda x: (calls.append(x), x * 2)[1]  # noqa: E731
+        for off in ("0", "false", "no", ""):
+            monkeypatch.setenv("REPRO_CACHE_DISABLE", off)
+            assert cached_call("t", fn, 21) == 42
+        assert calls == [21]  # first call cached, the rest were hits
+
+    def test_explicit_cache_wins_over_disable_env(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DISABLE", "1")
+        cache = ResultCache(tmp_path)
+        calls = []
+        fn = lambda x: (calls.append(x), x * 2)[1]  # noqa: E731
+        assert cached_call("t", fn, 21, cache=cache) == 42
+        assert cached_call("t", fn, 21, cache=cache) == 42
+        assert calls == [21]  # memoized: the explicit store is used
+
+    def test_unwritable_store_degrades_to_compute(self, tmp_path, monkeypatch):
+        """A read-only shared store must not crash point functions that
+        memoize through cached_call — compute-without-caching instead."""
+
+        def no_put(self, *a, **k):
+            raise PermissionError("read-only store")
+
+        monkeypatch.setattr(ResultCache, "put", no_put)
+        cache = ResultCache(tmp_path)
+        calls = []
+        fn = lambda x: (calls.append(x), x * 2)[1]  # noqa: E731
+        assert cached_call("t", fn, 21, cache=cache) == 42
+        assert cached_call("t", fn, 21, cache=cache) == 42
+        assert calls == [21, 21]  # computed each time, never crashed
+
 
 class TestCampaignRegistry:
     def test_every_experiment_has_a_campaign(self):
@@ -383,41 +432,169 @@ class TestCodeVersionFreshness:
         assert _calls(counter) == 4  # invalidated by the edit
 
 
-class TestCacheStatsRace:
-    """stats()/entries() must tolerate concurrently vanishing files."""
+class TestManifest:
+    """The per-sweep append-only journal that indexes the cache."""
 
-    def test_stats_skips_vanished_entries(self, tmp_path, monkeypatch):
-        """Regression: a file deleted between the glob and the stat call
-        crashed stats() with FileNotFoundError."""
+    def test_put_appends_and_stats_fold(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put("s", f"k{i}", {"i": i}, i)
+        manifest = cache.manifest("s")
+        assert sorted(manifest) == ["k0", "k1", "k2"]
+        for key, size in manifest.items():
+            assert size == cache.path_for("s", key).stat().st_size
+        stats = cache.stats()
+        assert stats.entries == 3
+        assert stats.bytes == sum(manifest.values())
+        assert stats.sweeps == ("s",)
+
+    def test_stats_is_an_index_read(self, tmp_path, monkeypatch):
+        """Acceptance: stats() never globs or stats entry files once the
+        manifests exist — O(sweeps), not O(entries)."""
         cache = ResultCache(tmp_path)
         cache.put("s1", "k1", {"a": 1}, [1])
         cache.put("s2", "k2", {"a": 2}, [2])
-        ghost = cache.path_for("s3", "k3")  # never written: a vanished entry
-        real_entries = list(cache.entries()) + [ghost]
-        monkeypatch.setattr(
-            ResultCache, "entries", lambda self: iter(real_entries)
-        )
+
+        def forbidden(self, *a, **k):
+            raise AssertionError("stats() touched the entry files")
+
+        monkeypatch.setattr(ResultCache, "entries", forbidden)
+        monkeypatch.setattr(ResultCache, "rebuild_manifest", forbidden)
         stats = cache.stats()
         assert stats.entries == 2
         assert stats.sweeps == ("s1", "s2")
         assert stats.bytes > 0
 
-    def test_stats_with_mid_scan_clear(self, tmp_path):
-        """Deleting files while the lazy glob is being consumed."""
+    def test_legacy_directory_is_rebuilt(self, tmp_path):
+        """A pre-manifest cache (entry files, no journal) is indexed on
+        first read — the entry files are the ground truth."""
         cache = ResultCache(tmp_path)
-        for i in range(4):
+        cache.put("s", "k0", {}, 0)
+        cache.put("s", "k1", {}, 1)
+        cache.manifest_path("s").unlink()  # simulate the legacy layout
+        assert cache.stats().entries == 2
+        assert cache.manifest_path("s").exists()  # healed
+
+    def test_put_into_legacy_directory_indexes_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("s", "k0", {}, 0)
+        cache.manifest_path("s").unlink()
+        cache.put("s", "k1", {}, 1)  # must index k0 too, not just k1
+        assert sorted(cache.manifest("s")) == ["k0", "k1"]
+        assert cache.stats().entries == 2
+
+    def test_corrupt_manifest_is_rebuilt(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
             cache.put("s", f"k{i}", {"i": i}, i)
-        it = cache.entries()
-        first = next(it)
-        cache.clear()  # everything vanishes while the iterator is live
-        survivors = [first] + list(it)
-        # stats() on a fresh (now empty) view must not crash either way.
-        stats = cache.stats()
-        assert stats.entries == 0
-        assert survivors  # the glob had yielded at least the first path
+        cache.manifest_path("s").write_text('{"op":"put","key":"k0"}\ntorn{')
+        assert cache.stats().entries == 3  # rebuilt from entry files
+
+    def test_healed_entry_records_a_del(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("s", "k0", {}, 0)
+        cache.put("s", "k1", {}, 1)
+        cache.path_for("s", "k0").write_text("not json")
+        _, hit = cache.get("s", "k0")  # heals: unlinks + journals the del
+        assert not hit
+        assert sorted(cache.manifest_keys("s")) == ["k1"]
+        assert cache.stats().entries == 1
+
+    def test_manifest_keys_tolerate_missing_sweep(self, tmp_path):
+        assert ResultCache(tmp_path).manifest_keys("nope") == set()
+
+    def test_concurrent_writers_share_one_journal(self, tmp_path):
+        """Two cache handles appending to the same sweep must both land."""
+        a, b = ResultCache(tmp_path), ResultCache(tmp_path)
+        a.put("s", "ka", {}, 1)
+        b.put("s", "kb", {}, 2)
+        assert sorted(a.manifest_keys("s")) == ["ka", "kb"]
 
     def test_clear_counts_do_not_stat(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.put("s", "k", {"a": 1}, 1)
         assert cache.clear() == 1
         assert cache.stats().entries == 0
+
+    def test_readonly_cache_still_serves_index_reads(
+        self, tmp_path, monkeypatch
+    ):
+        """A legacy directory on a read-only mount: the rebuild cannot
+        persist, but stats/manifest must still derive correct numbers
+        instead of crashing (the container runs as root, so this is
+        simulated by failing the temp-file creation)."""
+        import repro.runner.cache as cache_mod
+
+        cache = ResultCache(tmp_path)
+        cache.put("s", "k0", {}, 0)
+        cache.put("s", "k1", {}, 1)
+        cache.manifest_path("s").unlink()  # legacy: entries, no index
+
+        def no_write(*a, **k):
+            raise OSError("read-only file system")
+
+        monkeypatch.setattr(cache_mod.tempfile, "mkstemp", no_write)
+        stats = cache.stats()
+        assert stats.entries == 2 and stats.sweeps == ("s",)
+        assert sorted(cache.manifest_keys("s")) == ["k0", "k1"]
+        assert not cache.manifest_path("s").exists()  # nothing persisted
+
+    def test_put_survives_unwritable_manifest(self, tmp_path, monkeypatch):
+        """Entry files are the ground truth: a failing journal append
+        must not fail the put, and the index self-heals later."""
+        cache = ResultCache(tmp_path)
+
+        def no_append(self, sweep, record):
+            raise OSError("append refused")
+
+        monkeypatch.setattr(ResultCache, "_append_manifest", no_append)
+        cache.put("s", "k0", {}, {"ok": True})
+        value, hit = cache.get("s", "k0")
+        assert hit and value == {"ok": True}
+        monkeypatch.undo()
+        assert cache.stats().entries == 1  # rebuilt from the entry file
+
+
+class TestResume:
+    """run_sweep(resume=True): manifest-driven skip of existing points."""
+
+    def test_resume_skips_listed_points(self, tmp_path):
+        sweep = _counting_sweep(tmp_path)
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(sweep, cache=cache, code="v1")
+        assert _calls(tmp_path / "calls.txt") == 4
+        resumed = run_sweep(sweep, cache=cache, code="v1", resume=True)
+        assert resumed.hits == 4 and resumed.misses == 0
+        assert _calls(tmp_path / "calls.txt") == 4  # nothing recomputed
+
+    def test_resume_after_partial_run(self, tmp_path):
+        """The killed-sweep scenario: only some entries exist; resume
+        computes exactly the rest and the rows match a full run."""
+        sweep = _counting_sweep(tmp_path)
+        cache = ResultCache(tmp_path / "cache")
+        full = run_sweep(sweep, cache=ResultCache(tmp_path / "ref"), code="v1")
+        # Simulate the kill: seed the cache with only the first 2 points.
+        partial = Sweep(name=sweep.name, run_fn=sweep.run_fn,
+                        points=sweep.points[:2])
+        run_sweep(partial, cache=cache, code="v1")
+        calls_before = _calls(tmp_path / "calls.txt")
+        resumed = run_sweep(sweep, cache=cache, code="v1", resume=True)
+        assert resumed.hits == 2 and resumed.misses == 2
+        assert _calls(tmp_path / "calls.txt") == calls_before + 2
+        assert json.dumps(resumed.rows) == json.dumps(full.rows)
+
+    def test_resume_validates_stale_manifest_listings(self, tmp_path):
+        """A listed key whose entry file vanished is recomputed, not
+        trusted — the manifest is an index, never the data."""
+        sweep = _counting_sweep(tmp_path)
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_sweep(sweep, cache=cache, code="v1")
+        victim = cache.path_for(sweep.name, cold.outcomes[1].key)
+        victim.unlink()  # manifest still lists it
+        resumed = run_sweep(sweep, cache=cache, code="v1", resume=True)
+        assert resumed.hits == 3 and resumed.misses == 1
+        assert json.dumps(resumed.rows) == json.dumps(cold.rows)
+
+    def test_resume_requires_cache(self, tmp_path):
+        with pytest.raises(ValueError, match="requires a cache"):
+            run_sweep(_counting_sweep(tmp_path), resume=True)
