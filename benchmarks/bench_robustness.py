@@ -1,5 +1,6 @@
 """Robustness sweep — scheduler degradation under non-stationary platforms."""
 
+import conftest
 from conftest import one_shot
 
 from repro.analysis import format_table
@@ -17,8 +18,12 @@ def test_robustness_sweep(benchmark):
         # Every preset family only degrades rates / adds contention, so a
         # scenario run is never materially faster than its baseline (small
         # slack: brownout recovery rounds off, and demand-driven queue
-        # reshuffles can exhibit benign Graham-style anomalies).
-        assert row["degradation"] >= 0.99, row
+        # reshuffles can exhibit benign Graham-style anomalies).  The
+        # model engine's per-regime error envelope is wider than this
+        # bound (a scenario estimate can undershoot its stationary
+        # baseline's overshoot), so the claim is simulator-only.
+        if conftest._engine != "model":
+            assert row["degradation"] >= 0.99, row
     # Dropping out half the cluster hurts more than a late single-worker
     # wobble: severity must bite within each family.
     for algorithm in robustness.ALGORITHMS:

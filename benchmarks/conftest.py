@@ -59,10 +59,11 @@ def pytest_addoption(parser):
     )
     parser.addoption(
         "--engine",
-        choices=("fast", "des"),
+        choices=("fast", "des", "model"),
         default=None,
         help="simulation backend forwarded to every experiment that "
-        "accepts it (default: each experiment's own default, i.e. fast)",
+        "accepts it (default: each experiment's own default, i.e. fast); "
+        "'model' runs the analytic estimator (no trace, estimates only)",
     )
     parser.addoption(
         "--scale",
@@ -101,14 +102,16 @@ def pytest_configure(config):
 
 
 def at_paper_scale() -> bool:
-    """True unless ``--scale`` overrides the benches' paper-scale runs.
+    """True unless ``--scale``/``--engine model`` override the benches'
+    paper-scale runs.
 
     Quantitative claims of the paper (worker counts, spread bands,
     ranking margins) are asserted only when the suite runs the
     publication-size instances (no override, or an explicit
-    ``--scale 1``).
+    ``--scale 1``) on a real simulator — the model engine's estimates
+    live inside a validated error envelope, not on the claims' margins.
     """
-    return _scale in (None, 1)
+    return _scale in (None, 1) and _engine != "model"
 
 
 def one_shot(benchmark, fn, *args, **kwargs):

@@ -27,7 +27,7 @@ from repro.schedulers import HeteroIncremental
 BIG = (10**6, 10**7, 10**6)  # huge horizon for asymptotic ratios
 
 
-def main() -> None:
+def main(scale: int = 1) -> None:
     platform = table2_platform()
     print(platform.describe())
     print(f"Chunk sizes mu_i = {chunk_sizes(platform)}\n")
@@ -46,12 +46,15 @@ def main() -> None:
             f"has {fb.available_blocks} -> {status}"
         )
 
-    # 2. The incremental selections.
+    # 2. The incremental selections (``scale`` trims the step budgets
+    #    for smoke runs; the ratios converge well before 2000 steps).
+    steps = max(2000 // scale, 100)
     rows = []
     for name, sel in (
-        ("global", global_selection(platform, *BIG, max_steps=2000)),
-        ("local", local_selection(platform, *BIG, max_steps=2000)),
-        ("lookahead-2", lookahead_selection(platform, *BIG, depth=2, max_steps=1200)),
+        ("global", global_selection(platform, *BIG, max_steps=steps)),
+        ("local", local_selection(platform, *BIG, max_steps=steps)),
+        ("lookahead-2", lookahead_selection(
+            platform, *BIG, depth=2, max_steps=max(1200 // scale, 60))),
     ):
         rows.append(
             {
@@ -74,7 +77,10 @@ def main() -> None:
     print(gantt_selection(l, workers=3, width=100, max_time=horizon))
 
     # 4. Execute the global selection on a real (small) instance.
-    shape = ProblemShape(r=18, s=36, t=4, q=8)
+    shape = ProblemShape(
+        r=max(18 // scale, 6), s=max(36 // scale, 6),
+        t=max(4 // scale, 2), q=8,
+    )
     a, b, c0 = make_product_instance(shape, seed=7)
     c = c0.copy()
     scheduler = HeteroIncremental("global")

@@ -25,9 +25,11 @@ from repro.core.heterogeneous import chunk_sizes
 from repro.platform import table2_platform, ut_cluster_platform
 
 
-def main() -> None:
-    # 1. Numeric block LU.
-    n, panel = 320, 80
+def main(scale: int = 1) -> None:
+    # 1. Numeric block LU (``scale`` shrinks the matrix; the panel
+    #    count is kept so the blocked path is still exercised).
+    panel = max(80 // scale, 8)
+    n = 4 * panel
     rng = np.random.default_rng(3)
     a = rng.uniform(-1, 1, (n, n)) + n * np.eye(n)
     packed = block_lu(a.copy(), panel=panel)

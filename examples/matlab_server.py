@@ -22,7 +22,7 @@ from repro.platform import HardwareSpec, calibrate, Platform
 from repro.schedulers import all_section8_schedulers
 
 
-def main() -> None:
+def main(scale: int = 1) -> None:
     # The lab: gigabit LAN, ~4 Gflop/s DGEMM per machine, but only
     # 256 MB of RAM each that the service may pin for block buffers.
     spec = HardwareSpec(
@@ -32,8 +32,12 @@ def main() -> None:
     platform = Platform.homogeneous(12, c, w, m, name="lab-LAN")
     print(platform.describe())
 
-    # The client request: C = A . B with A 16000x16000, B 16000x32000.
-    shape = ProblemShape.from_elements(16000, 16000, 32000, q=80)
+    # The client request: C = A . B with A 16000x16000, B 16000x32000
+    # (``scale`` shrinks the request for smoke runs).
+    shape = ProblemShape.from_elements(
+        max(16000 // scale, 800), max(16000 // scale, 800),
+        max(32000 // scale, 800), q=80,
+    )
     print(f"\nClient request: {shape}")
     flops = shape.total_flops
     print(f"Total work: {flops / 1e12:.2f} Tflop")

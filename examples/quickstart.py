@@ -17,15 +17,19 @@ from repro.platform import ut_cluster_platform
 from repro.schedulers import HoLM
 
 
-def main() -> None:
+def main(scale: int = 1) -> None:
     # 1. The platform: 8 workers, each with c = 4.1 ms/block,
     #    w = 0.29 ms/update, m = 10000 block buffers (512 MB).
     platform = ut_cluster_platform(p=8)
     print(platform.describe())
 
     # 2. The problem: C (r x s blocks) += A (r x t) . B (t x s).
-    #    Small enough to execute numerically in seconds.
-    shape = ProblemShape(r=10, s=40, t=8, q=40)
+    #    Small enough to execute numerically in seconds (``scale``
+    #    shrinks it further for smoke runs).
+    shape = ProblemShape(
+        r=max(10 // scale, 2), s=max(40 // scale, 4),
+        t=max(8 // scale, 2), q=40,
+    )
     print(f"\nProblem: {shape}")
 
     # 3. Real matrices, so the simulated schedule is also executed.

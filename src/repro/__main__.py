@@ -8,6 +8,8 @@ Usage::
     python -m repro sweep fig10 --jobs 4        # parallel + cached
     python -m repro sweep all --jobs 8 --scale 8
     python -m repro sweep fig10 --engine des    # force the DES oracle
+    python -m repro sweep fig10 --engine model  # analytic estimates only
+    python -m repro sweep fig10 --prescreen 5   # model-rank, simulate top 5
     python -m repro sweep all --jobs 4 --backend persistent   # warm workers
     python -m repro sweep fig10 --resume        # finish a killed sweep
     python -m repro sweep robustness --scenario dropout:0.5
@@ -48,7 +50,7 @@ def _print_experiment_list() -> None:
         "\nSubcommands:\n"
         "  sweep NAME [--jobs N] [--backend auto|serial|process|persistent]\n"
         "             [--resume] [--keep-going] [--no-cache] [--cache-dir D]\n"
-        "             [--scale K] [--engine fast|des]\n"
+        "             [--scale K] [--engine fast|des|model] [--prescreen K]\n"
         "             [--scenario KIND[:SEVERITY]]\n"
         "             run NAME's campaign through the parallel cached runner\n"
         "  cache [info|rebuild|clear] [--cache-dir D]\n"
@@ -107,9 +109,18 @@ def _cmd_sweep(argv: list[str]) -> int:
         help="divide matrix dimensions by K where supported (quick runs)",
     )
     parser.add_argument(
-        "--engine", choices=("fast", "des"), default="fast",
+        "--engine", choices=("fast", "des", "model"), default="fast",
         help="simulation backend: the event-free fast timeline engine "
-             "(default) or the discrete-event kernel (reference oracle)",
+             "(default), the discrete-event kernel (reference oracle), or "
+             "the analytic model estimator (orders of magnitude faster, "
+             "validated error envelope — see docs/engines.md)",
+    )
+    parser.add_argument(
+        "--prescreen", type=float, default=None, metavar="K",
+        help="rank every sweep point with the analytic model engine first "
+             "and fully simulate only the K best (an integer count, or a "
+             "fraction in (0,1) of each sweep).  Sweeps the model cannot "
+             "screen run unfiltered with a warning",
     )
     parser.add_argument(
         "--scenario", default=None, metavar="KIND[:SEVERITY]",
@@ -143,6 +154,9 @@ def _cmd_sweep(argv: list[str]) -> int:
     if args.resume and args.no_cache:
         print("bad arguments: --resume needs the cache (drop --no-cache)")
         return 2
+    if args.prescreen is not None and args.prescreen <= 0:
+        print("bad arguments: --prescreen must be a positive count or fraction")
+        return 2
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     progress = None
@@ -172,6 +186,33 @@ def _cmd_sweep(argv: list[str]) -> int:
     except ValueError as exc:
         print(f"bad arguments: {exc}")
         return 2
+
+    if args.prescreen is not None:
+        from dataclasses import replace
+
+        from repro.runner import PrescreenUnsupported, prescreen_sweep
+
+        screened = []
+        for campaign in campaigns:
+            sweeps = []
+            for swp in campaign.sweeps:
+                try:
+                    result = prescreen_sweep(swp, keep=args.prescreen)
+                except PrescreenUnsupported as exc:
+                    print(
+                        f"[{swp.name}] prescreen skipped: {exc}",
+                        file=sys.stderr,
+                    )
+                    sweeps.append(swp)
+                else:
+                    print(
+                        f"[{swp.name}] prescreen kept {result.kept} of "
+                        f"{len(result.scored)} points",
+                        file=sys.stderr,
+                    )
+                    sweeps.append(result.sweep)
+            screened.append(replace(campaign, sweeps=tuple(sweeps)))
+        campaigns = screened
 
     import os
 

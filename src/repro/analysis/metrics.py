@@ -42,7 +42,15 @@ def summarize_trace(trace: Trace) -> TraceSummary:
     the interval lists once per metric (and once per worker for the
     utilisations), which at sweep scale costs as much as the simulation
     itself.
+
+    Also accepts a :class:`~repro.engine.model.ModelEstimate` (anything
+    with a ``to_summary``): the model engine has no interval lists, so
+    it produces the summary directly and experiments stay
+    engine-agnostic.
     """
+    to_summary = getattr(trace, "to_summary", None)
+    if to_summary is not None:
+        return to_summary()
     comms = trace.comms
     computes = trace.computes
     if comms:

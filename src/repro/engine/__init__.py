@@ -34,6 +34,12 @@ background port traffic — and stay byte-identical under it
 from repro.engine.chunks import Chunk, Phase, tile_chunks, toledo_chunks
 from repro.engine.engine import ENGINES, Engine, run_scheduler
 from repro.engine.fast import FastEngine, FastEngineUnsupported, run_fast
+from repro.engine.model import (
+    ModelEngine,
+    ModelEngineUnsupported,
+    ModelEstimate,
+    run_model,
+)
 from repro.engine.trace import CommInterval, ComputeInterval, Trace
 
 __all__ = [
@@ -44,9 +50,13 @@ __all__ = [
     "Engine",
     "FastEngine",
     "FastEngineUnsupported",
+    "ModelEngine",
+    "ModelEngineUnsupported",
+    "ModelEstimate",
     "Phase",
     "Trace",
     "run_fast",
+    "run_model",
     "run_scheduler",
     "tile_chunks",
     "toledo_chunks",

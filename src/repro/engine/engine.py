@@ -25,6 +25,7 @@ from repro.blocks.shape import ProblemShape
 from repro.engine.chunks import Chunk, Phase
 from repro.engine.common import memory_exceeded, validate_block_data
 from repro.engine.fast import FastEngineUnsupported, run_fast
+from repro.engine.model import ModelEstimate, run_model
 from repro.engine.trace import CommInterval, ComputeInterval, Trace
 from repro.platform.model import Platform
 from repro.scenarios.model import BackgroundEvent, Scenario
@@ -34,9 +35,11 @@ from repro.sim.resources import Resource
 __all__ = ["ENGINES", "Engine", "ChunkQueue", "run_scheduler", "SchedulerProtocol"]
 
 #: Selectable simulation engines: the event-free fast timeline scan
-#: (default) and the generator-based discrete-event kernel (the
-#: reference oracle).  Both produce byte-identical traces.
-ENGINES = ("fast", "des")
+#: (default), the generator-based discrete-event kernel (the reference
+#: oracle) — these two produce byte-identical traces — and the analytic
+#: model estimator of :mod:`repro.engine.model`, whose contract is a
+#: validated error envelope rather than parity (see ``docs/engines.md``).
+ENGINES = ("fast", "des", "model")
 
 
 class ChunkQueue:
@@ -293,7 +296,7 @@ def run_scheduler(
     check_invariants: bool = True,
     engine: str = "fast",
     scenario: Optional[Scenario] = None,
-) -> Trace:
+) -> Trace | ModelEstimate:
     """Simulate ``scheduler`` on ``platform`` and return the trace.
 
     When ``data`` is supplied the block updates are executed numerically
@@ -303,7 +306,12 @@ def run_scheduler(
 
     ``engine`` selects the simulation backend: ``"fast"`` (default) is
     the event-free timeline scan of :mod:`repro.engine.fast`, ``"des"``
-    the generator-based discrete-event kernel.  Both produce
+    the generator-based discrete-event kernel, and ``"model"`` the
+    analytic estimator of :mod:`repro.engine.model`, which returns a
+    :class:`~repro.engine.model.ModelEstimate` (mirroring the trace's
+    summary interface, within a validated error envelope — see
+    ``docs/engines.md``) and rejects ``data`` since it executes
+    nothing.  The two simulating backends produce
     byte-identical traces for chunk schedulers (see
     ``docs/performance.md``); a scheduler that launches raw kernel
     processes silently falls back to the DES (its ``launch`` runs again
@@ -327,6 +335,23 @@ def run_scheduler(
         scenario, platform = platform, platform.platform
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r} (choose from {ENGINES})")
+    if engine == "model":
+        if data is not None:
+            raise ValueError(
+                "engine='model' estimates timing analytically and cannot "
+                "execute numeric block updates; use engine='fast' or 'des'"
+            )
+        estimate = run_model(
+            scheduler, platform, shape,
+            two_port=two_port, check_memory=check_memory, scenario=scenario,
+        )
+        expected = shape.total_updates
+        if estimate.total_updates != expected:
+            raise RuntimeError(
+                f"{scheduler.name}: executed {estimate.total_updates} "
+                f"block updates, expected {expected}"
+            )
+        return estimate
     trace: Optional[Trace] = None
     if engine == "fast":
         try:

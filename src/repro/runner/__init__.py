@@ -31,6 +31,13 @@ from repro.runner.cache import (
     default_cache_dir,
 )
 from repro.runner.hashing import canonical_params, code_version, point_key
+from repro.runner.prescreen import (
+    PrescreenResult,
+    PrescreenUnsupported,
+    ScoredPoint,
+    default_score,
+    prescreen_sweep,
+)
 from repro.runner.sweep import (
     FAILED,
     Campaign,
@@ -54,9 +61,12 @@ __all__ = [
     "FAILED",
     "PersistentBackend",
     "PointOutcome",
+    "PrescreenResult",
+    "PrescreenUnsupported",
     "ProcessBackend",
     "Progress",
     "ResultCache",
+    "ScoredPoint",
     "SerialBackend",
     "Sweep",
     "SweepPointError",
@@ -67,8 +77,10 @@ __all__ = [
     "code_version",
     "create_backend",
     "default_cache_dir",
+    "default_score",
     "parallel_map",
     "point_key",
+    "prescreen_sweep",
     "resolve_backend",
     "run_campaign",
     "run_sweep",

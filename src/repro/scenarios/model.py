@@ -222,6 +222,19 @@ class Scenario:
         tl = self._w_rates[widx]
         return tl.values[bisect_right(tl.times, t) - 1]
 
+    def c_rate_timeline(self, widx: int) -> StepTimeline:
+        """Worker ``widx``'s (0-based) effective transfer-rate timeline.
+
+        The full piecewise-constant ``base · factor`` table behind
+        :meth:`c_rate` — the model engine integrates chunk work through
+        it instead of sampling pointwise.
+        """
+        return self._c_rates[widx]
+
+    def w_rate_timeline(self, widx: int) -> StepTimeline:
+        """Worker ``widx``'s (0-based) effective compute-rate timeline."""
+        return self._w_rates[widx]
+
     @property
     def has_rate_variation(self) -> bool:
         """True when any worker's rates actually change over time."""

@@ -10,6 +10,16 @@ real ``~/.cache/repro-sweeps``.
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the tests/golden/ trace fixtures from the current "
+        "engines instead of diffing against them",
+    )
+
+
 @pytest.fixture(autouse=True)
 def _hermetic_sweep_cache(tmp_path_factory, monkeypatch):
     monkeypatch.setenv(

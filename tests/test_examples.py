@@ -1,0 +1,45 @@
+"""Every example under ``examples/`` must run end to end.
+
+The examples double as executable documentation; each exposes
+``main(scale=...)`` so this suite can run the full script logic —
+resource selection, simulation, numeric verification, table rendering —
+at smoke scale.  New example files are picked up automatically.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+#: Smoke-scale keyword overrides beyond ``scale`` (kept tiny: the grid
+#: demo would otherwise sweep thousands of points).
+EXTRA_ARGS = {
+    "capacity_planning": {"memory_points": 3, "worker_step": 8, "keep": 2},
+}
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"_example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name", sorted(path.stem for path in EXAMPLES_DIR.glob("*.py"))
+)
+def test_example_runs_at_smoke_scale(name, capsys):
+    module = _load(name)
+    assert hasattr(module, "main"), (
+        f"examples/{name}.py must expose main(scale=...) so it stays "
+        "smoke-testable"
+    )
+    module.main(scale=8, **EXTRA_ARGS.get(name, {}))
+    out = capsys.readouterr().out
+    assert out.strip(), f"examples/{name}.py printed nothing"

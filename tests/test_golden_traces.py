@@ -1,0 +1,117 @@
+"""Golden-trace regression fixtures.
+
+Four canonical runs — small enough that their full interval lists are
+human-readable JSON — are pinned under ``tests/golden/``.  Any change
+to engine event ordering, float arithmetic, chunk geometry or resource
+selection shows up as a *readable diff* against the stored fixture, not
+just a failed number.
+
+To refresh after an intentional engine change::
+
+    pytest tests/test_golden_traces.py --update-golden
+
+then review the fixture diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import summarize_trace
+from repro.blocks import ProblemShape
+from repro.engine import run_scheduler
+from repro.platform import table2_platform, ut_cluster_platform
+from repro.scenarios import Scenario
+from repro.schedulers import DDOML, HeteroIncremental, HoLM
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _holm_homogeneous():
+    platform = ut_cluster_platform(p=4)
+    shape = ProblemShape(r=4, s=8, t=4, q=8)
+    return run_scheduler(HoLM(), platform, shape)
+
+
+def _hetero_global_table2():
+    platform = table2_platform()
+    shape = ProblemShape(r=12, s=12, t=4, q=4)
+    return run_scheduler(HeteroIncremental("global"), platform, shape)
+
+
+def _ddoml_two_port():
+    platform = ut_cluster_platform(p=4)
+    shape = ProblemShape(r=4, s=8, t=4, q=8)
+    return run_scheduler(DDOML(), platform, shape, two_port=True)
+
+
+def _holm_dropout_scenario():
+    platform = ut_cluster_platform(p=4)
+    shape = ProblemShape(r=4, s=8, t=4, q=8)
+    scenario = Scenario.stationary(platform).with_slowdown(1, 2.0, 10.0)
+    return run_scheduler(HoLM(), platform, shape, scenario=scenario)
+
+
+CASES = {
+    "holm_ut4": _holm_homogeneous,
+    "hetero_global_table2": _hetero_global_table2,
+    "ddoml_two_port": _ddoml_two_port,
+    "holm_dropout": _holm_dropout_scenario,
+}
+
+
+def trace_payload(trace) -> dict:
+    """The JSON image of a trace: summary first, then every interval."""
+    s = summarize_trace(trace)
+    return {
+        "summary": {
+            "makespan": s.makespan,
+            "comm_blocks": s.comm_blocks,
+            "updates": s.updates,
+            "ccr": s.ccr,
+            "workers_used": s.workers_used,
+            "port_utilisation": s.port_utilisation,
+            "mean_worker_utilisation": s.mean_worker_utilisation,
+        },
+        "memory_peak": {str(k): v for k, v in sorted(trace.memory_peak.items())},
+        "comms": [list(c) for c in trace.comms],
+        "computes": [list(c) for c in trace.computes],
+    }
+
+
+def render(payload: dict) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_golden_trace(name, request):
+    path = GOLDEN_DIR / f"{name}.json"
+    payload = trace_payload(CASES[name]())
+    got = render(payload)
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(got)
+        return
+    assert path.exists(), (
+        f"missing golden fixture {path.name}; run "
+        f"`pytest {__file__} --update-golden` and commit the result"
+    )
+    want = path.read_text()
+    if got != want:
+        diff = "".join(
+            difflib.unified_diff(
+                want.splitlines(keepends=True),
+                got.splitlines(keepends=True),
+                fromfile=f"golden/{path.name}",
+                tofile="current run",
+                n=3,
+            )
+        )
+        pytest.fail(
+            f"trace diverged from golden fixture {path.name} "
+            f"(--update-golden refreshes after intentional changes):\n{diff}"
+        )

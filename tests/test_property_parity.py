@@ -1,0 +1,190 @@
+"""Property-based engine-tower checks (Hypothesis).
+
+Randomized platforms, shapes, schedulers and scenario timelines drive
+the two engine contracts:
+
+* **fast vs DES** — byte-identical traces (same interval lists, same
+  floats, same memory peaks), the contract ``tests/test_fast_parity.py``
+  pins on curated cases;
+* **model vs fast** — exact conserved counts (communicated blocks,
+  update totals, enrolled workers) and a loose makespan envelope.  The
+  tolerance here (50 %) is far looser than the per-regime envelopes of
+  ``tests/test_model_envelope.py`` because Hypothesis explores
+  degenerate corners (single-phase chunks, one worker, t=1) where the
+  chunk-granularity model has almost nothing to average over.
+
+Examples are seeded and derandomized so CI runs are reproducible; the
+budget is deliberately small (the suite must stay tier-1 cheap).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.blocks import ProblemShape
+from repro.engine import run_scheduler
+from repro.platform import Platform
+from repro.scenarios import Scenario
+from repro.schedulers import (
+    BMM,
+    DDOML,
+    HoLM,
+    OBMM,
+    ODDOML,
+    OMMOML,
+    ORROML,
+)
+
+ALL_SEVEN = (HoLM, ORROML, OMMOML, ODDOML, DDOML, BMM, OBMM)
+
+#: Loose property-space envelope (see module docstring).
+MODEL_TOL = 0.50
+
+SETTINGS = settings(max_examples=30, deadline=None, derandomize=True)
+
+
+@st.composite
+def platforms(draw) -> Platform:
+    p = draw(st.integers(min_value=1, max_value=5))
+    rate = st.floats(
+        min_value=0.1, max_value=2.0, allow_nan=False, allow_infinity=False
+    )
+    # Integer rates force massive event-time ties (the regime where
+    # engine event-ordering differences would surface).
+    if draw(st.booleans()):
+        cs = [float(draw(st.integers(1, 3))) for _ in range(p)]
+        ws = [float(draw(st.integers(1, 3))) for _ in range(p)]
+    else:
+        cs = [draw(rate) for _ in range(p)]
+        ws = [draw(rate) for _ in range(p)]
+    ms = [draw(st.sampled_from([21, 35, 60, 120])) for _ in range(p)]
+    if draw(st.booleans()):
+        return Platform.homogeneous(p, c=cs[0], w=ws[0], m=ms[0])
+    return Platform.heterogeneous(cs, ws, ms)
+
+
+@st.composite
+def shapes(draw) -> ProblemShape:
+    return ProblemShape(
+        r=draw(st.integers(1, 6)),
+        s=draw(st.integers(1, 6)),
+        t=draw(st.integers(1, 6)),
+        q=draw(st.sampled_from([2, 4])),
+    )
+
+
+scheduler_classes = st.sampled_from(ALL_SEVEN)
+
+
+@st.composite
+def scenario_knobs(draw) -> dict:
+    """Scenario shape drawn platform-independently (built later)."""
+    return {
+        "slow_worker": draw(st.integers(1, 3)),
+        "slow_at": draw(st.floats(min_value=1.0, max_value=40.0)),
+        "slow_factor": draw(st.floats(min_value=1.5, max_value=10.0)),
+        "brownout": draw(st.booleans()),
+        "brown_at": draw(st.floats(min_value=2.0, max_value=30.0)),
+        "brown_factor": draw(st.floats(min_value=1.5, max_value=4.0)),
+    }
+
+
+def build_scenario(platform: Platform, knobs: dict) -> Scenario:
+    scenario = Scenario.stationary(platform)
+    widx = min(knobs["slow_worker"], platform.p)
+    scenario = scenario.with_slowdown(
+        widx, knobs["slow_at"], knobs["slow_factor"]
+    )
+    if knobs["brownout"]:
+        scenario = scenario.with_bandwidth_step(
+            knobs["brown_at"], knobs["brown_factor"]
+        )
+    return scenario
+
+
+class TestFastMatchesDES:
+    @SETTINGS
+    @given(
+        platform=platforms(),
+        shape=shapes(),
+        scheduler_cls=scheduler_classes,
+        two_port=st.booleans(),
+    )
+    def test_stationary_traces_identical(
+        self, platform, shape, scheduler_cls, two_port
+    ):
+        des = run_scheduler(
+            scheduler_cls(), platform, shape, engine="des", two_port=two_port
+        )
+        fast = run_scheduler(
+            scheduler_cls(), platform, shape, engine="fast", two_port=two_port
+        )
+        assert des.comms == fast.comms
+        assert des.computes == fast.computes
+        assert des.memory_peak == fast.memory_peak
+
+    @SETTINGS
+    @given(
+        platform=platforms(),
+        shape=shapes(),
+        scheduler_cls=scheduler_classes,
+        knobs=scenario_knobs(),
+    )
+    def test_scenario_traces_identical(
+        self, platform, shape, scheduler_cls, knobs
+    ):
+        scenario = build_scenario(platform, knobs)
+        des = run_scheduler(
+            scheduler_cls(), platform, shape, engine="des", scenario=scenario
+        )
+        fast = run_scheduler(
+            scheduler_cls(), platform, shape, engine="fast", scenario=scenario
+        )
+        assert des.comms == fast.comms
+        assert des.computes == fast.computes
+        assert des.memory_peak == fast.memory_peak
+
+
+class TestModelWithinEnvelope:
+    @SETTINGS
+    @given(
+        platform=platforms(),
+        shape=shapes(),
+        scheduler_cls=scheduler_classes,
+        two_port=st.booleans(),
+    )
+    def test_counts_exact_and_makespan_enveloped(
+        self, platform, shape, scheduler_cls, two_port
+    ):
+        fast = run_scheduler(
+            scheduler_cls(), platform, shape, two_port=two_port
+        )
+        estimate = run_scheduler(
+            scheduler_cls(), platform, shape, two_port=two_port,
+            engine="model",
+        )
+        assert estimate.total_updates == shape.total_updates
+        comm_blocks = sum(c.blocks for c in fast.comms)
+        assert estimate.comm_blocks == comm_blocks
+        assert estimate.enrolled_workers == fast.enrolled_workers
+        ref = fast.work_makespan
+        assert abs(estimate.makespan - ref) <= MODEL_TOL * ref
+
+    @SETTINGS
+    @given(
+        platform=platforms(),
+        shape=shapes(),
+        scheduler_cls=scheduler_classes,
+        knobs=scenario_knobs(),
+    )
+    def test_scenario_counts_conserved(
+        self, platform, shape, scheduler_cls, knobs
+    ):
+        scenario = build_scenario(platform, knobs)
+        estimate = run_scheduler(
+            scheduler_cls(), platform, shape, scenario=scenario,
+            engine="model",
+        )
+        assert estimate.total_updates == shape.total_updates
+        assert estimate.makespan > 0.0
+        assert estimate.check_invariants() is None
