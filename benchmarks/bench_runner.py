@@ -115,6 +115,66 @@ def _measure_backends():
     return process_seconds, persistent_seconds, process_result, persistent_result
 
 
+def _measure_retry_overhead():
+    """Best-of-5 warm persistent campaign, without and with a retry
+    policy, on the same warm pool.  Returns ``(plain_s, retry_s)``."""
+    from repro.runner import RetryPolicy
+
+    campaign = _campaign()
+    rounds = 5
+    policy = RetryPolicy(retries=2, timeout=60.0, max_failures=10)
+    plain_s = retry_s = float("inf")
+    with create_backend("persistent", jobs=JOBS) as backend:
+        warmup = Sweep(
+            name="warmup", run_fn=_micro_point, points=({"s": -1, "x": 0},)
+        )
+        run_campaign(Campaign("warmup", (warmup,)), jobs=JOBS, backend=backend)
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            plain_r = run_campaign(campaign, jobs=JOBS, backend=backend)
+            plain_s = min(plain_s, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            retry_r = run_campaign(
+                campaign, jobs=JOBS, backend=backend,
+                retry=policy, on_error="keep",
+            )
+            retry_s = min(retry_s, time.perf_counter() - t0)
+    assert retry_r.tables == plain_r.tables
+    assert retry_r.errors == 0
+    return plain_s, retry_s
+
+
+def test_retry_layer_overhead():
+    """Acceptance gate: the fault-tolerance layer is (nearly) free when
+    nothing fails.
+
+    A fully configured retry policy — retries, timeout, breaker — on a
+    failure-free warm persistent campaign must add < 5 % to dispatch:
+    the retry machinery only engages on failures, so the hot path's
+    additions are a status check per point and one extra keyword on the
+    backend call.  Retries up to three attempts for the same
+    noisy-runner reasons as the backend-comparison gate.
+    """
+    budget = 1.05
+    attempts = []
+    for _ in range(3):
+        plain_s, retry_s = _measure_retry_overhead()
+        attempts.append((plain_s, retry_s))
+        print(
+            f"\nretry-layer overhead ({N_SWEEPS} sweeps x {N_POINTS} points, "
+            f"jobs={JOBS}): plain {plain_s * 1e3:.1f} ms, "
+            f"with policy {retry_s * 1e3:.1f} ms "
+            f"({(retry_s / plain_s - 1) * 100:+.1f}%)"
+        )
+        if retry_s <= plain_s * budget:
+            return
+    raise AssertionError(
+        "retry layer exceeded its 5% failure-free overhead budget on "
+        f"every attempt: "
+        + ", ".join(f"{p * 1e3:.1f}ms vs {r * 1e3:.1f}ms" for p, r in attempts)
+    )
+
+
 def test_persistent_beats_process_on_warm_campaign():
     """Acceptance gate: warm persistent workers beat fresh pools.
 

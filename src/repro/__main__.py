@@ -13,6 +13,10 @@ Usage::
     python -m repro sweep all --jobs 4 --backend persistent   # warm workers
     python -m repro sweep fig10 --resume        # finish a killed sweep
     python -m repro sweep robustness --scenario dropout:0.5
+    python -m repro sweep fig10 --retries 2 --timeout 60      # fault tolerant
+    python -m repro sweep fig10 --retries 2 --max-failures 5  # + breaker
+    python -m repro sweep fig10 --chaos "fail=0.2,seed=7" --retries 2
+    python -m repro sweep fig10 --resume --retry-quarantined
     python -m repro cache info        # cache location, entries, size (O(1))
     python -m repro cache rebuild     # re-derive manifests from entry files
     python -m repro cache clear       # drop every cached result
@@ -27,9 +31,18 @@ invocation completes without re-running any simulation and a killed
 one picks up where it stopped (``--resume``).  Aggregated tables are
 identical across every backend and the plain serial path.
 
+The fault-tolerance layer (``docs/runner.md``) rides on top:
+``--retries`` re-attempts failed points with deterministic backoff,
+``--timeout`` bounds each point's wall clock inside the worker,
+``--max-failures`` trips a circuit breaker that aborts the sweep with
+a structured failure report, points that exhaust their retry budget
+are quarantined in the cache manifest (skipped by later ``--resume``
+runs unless ``--retry-quarantined``), and ``--chaos`` wraps the
+backend in the deterministic fault injector to rehearse all of it.
+
 Exit codes: 0 on success, 1 when a sweep point failed (aborting the
-run, or recorded under ``--keep-going``), 2 for unknown
-experiment/sweep names or bad arguments.
+run, recorded under ``--keep-going``, or skipped as quarantined), 2
+for unknown experiment/sweep names or bad arguments.
 """
 
 from __future__ import annotations
@@ -52,6 +65,8 @@ def _print_experiment_list() -> None:
         "             [--resume] [--keep-going] [--no-cache] [--cache-dir D]\n"
         "             [--scale K] [--engine fast|des|model] [--prescreen K]\n"
         "             [--scenario KIND[:SEVERITY]]\n"
+        "             [--retries N] [--timeout S] [--max-failures M]\n"
+        "             [--chaos SPEC] [--retry-quarantined]\n"
         "             run NAME's campaign through the parallel cached runner\n"
         "  cache [info|rebuild|clear] [--cache-dir D]\n"
         "             inspect, re-index or empty the sweep result cache"
@@ -125,9 +140,45 @@ def _cmd_sweep(argv: list[str]) -> int:
     parser.add_argument(
         "--scenario", default=None, metavar="KIND[:SEVERITY]",
         help="narrow scenario-aware campaigns (e.g. 'sweep robustness') to "
-             "one non-stationarity family: drift, dropout, congestion or "
-             "brownout, optionally pinning a severity in [0, 1] "
-             "(see docs/scenarios.md); other campaigns ignore the knob",
+             "one non-stationarity family: drift, dropout, congestion, "
+             "brownout, randomwalk or multidrop, optionally pinning a "
+             "severity in [0, 1] (see docs/scenarios.md); other campaigns "
+             "ignore the knob",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="re-attempt each failed point up to N extra times with "
+             "exponential, deterministically jittered backoff; points "
+             "that fail every attempt are quarantined in the cache "
+             "manifest so later --resume runs skip them",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-point wall-clock limit in seconds, enforced inside the "
+             "worker by the process/persistent backends (the serial "
+             "backend never interrupts a point); a timed-out point counts "
+             "as a failure and is retried like any other",
+    )
+    parser.add_argument(
+        "--max-failures", type=int, default=None, metavar="M",
+        help="circuit breaker: abort the sweep with a structured failure "
+             "report once M points have permanently failed (implies "
+             "--keep-going semantics up to the threshold)",
+    )
+    parser.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="wrap the backend in the deterministic fault injector; SPEC "
+             "is comma-separated key=value over fail/hang/crash rates, "
+             "hang_s, seed and sticky (e.g. 'fail=0.2,seed=7' or "
+             "'fail=0.5,sticky=permanent').  Injected faults never touch "
+             "cache keys: a transient profile plus --retries converges to "
+             "results byte-identical to the clean run",
+    )
+    parser.add_argument(
+        "--retry-quarantined", action="store_true",
+        help="with --resume: re-attempt points previously quarantined as "
+             "known-permanent failures instead of skipping them (a "
+             "success clears the quarantine record)",
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-point progress lines"
@@ -157,15 +208,56 @@ def _cmd_sweep(argv: list[str]) -> int:
     if args.prescreen is not None and args.prescreen <= 0:
         print("bad arguments: --prescreen must be a positive count or fraction")
         return 2
+    if args.retry_quarantined and not args.resume:
+        print("bad arguments: --retry-quarantined only applies with --resume")
+        return 2
+
+    from repro.runner import ChaosSpec, RetryPolicy
+
+    chaos_spec = None
+    if args.chaos is not None:
+        try:
+            chaos_spec = ChaosSpec.parse(args.chaos)
+        except ValueError as exc:
+            print(f"bad --chaos: {exc}")
+            return 2
+    try:
+        retry_policy = RetryPolicy(
+            retries=args.retries,
+            timeout=args.timeout,
+            max_failures=args.max_failures,
+        )
+    except ValueError as exc:
+        print(f"bad arguments: {exc}")
+        return 2
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     progress = None
     if not args.quiet:
+        counts = {"error": 0, "quarantined": 0}
+        markers = {
+            "ok": "", "error": "  FAILED", "retry": "  RETRYING",
+            "quarantined": "  QUARANTINED",
+        }
+
         def progress(ev):  # noqa: ANN001 — repro.runner.Progress
-            source = "cache" if ev.cached else f"{ev.seconds:6.2f}s"
-            marker = "" if ev.status == "ok" else "  FAILED"
+            if ev.status in counts:
+                counts[ev.status] += 1
+            if ev.cached:
+                source = "cache"
+            elif ev.status == "quarantined":
+                source = "skipped"
+            else:
+                source = f"{ev.seconds:6.2f}s"
+            marker = markers.get(ev.status, f"  {ev.status.upper()}")
+            tail = ""
+            if counts["error"] or counts["quarantined"]:
+                tail = (
+                    f"  [{counts['error']} failed, "
+                    f"{counts['quarantined']} quarantined]"
+                )
             print(
-                f"[{ev.sweep} {ev.index + 1}/{ev.total}] {source}{marker}",
+                f"[{ev.sweep} {ev.index + 1}/{ev.total}] {source}{marker}{tail}",
                 file=sys.stderr,
             )
 
@@ -216,7 +308,8 @@ def _cmd_sweep(argv: list[str]) -> int:
 
     import os
 
-    from repro.runner import SweepPointError, resolve_backend
+    from repro.runner import ChaosBackend, CircuitOpenError, SweepPointError, resolve_backend
+    from repro.runner.sweep import _error_summary
 
     # Point functions may consult the store themselves via cached_call
     # (e.g. the robustness baselines), and worker processes only see
@@ -236,9 +329,19 @@ def _cmd_sweep(argv: list[str]) -> int:
 
     # One backend instance for the whole invocation: `--backend
     # persistent` keeps its warm workers across every sweep and
-    # campaign of `sweep all`.
+    # campaign of `sweep all`.  --chaos wraps it without touching the
+    # points (cache keys stay those of the clean run — the whole point
+    # of the byte-identity acceptance check).
     exec_backend, owned = resolve_backend(stamped_backend, args.jobs)
+    if chaos_spec is not None and chaos_spec.active:
+        exec_backend = ChaosBackend(inner=exec_backend, spec=chaos_spec)
+    # --max-failures tolerates failures up to its threshold, which only
+    # makes sense under keep semantics; an explicit breaker therefore
+    # implies --keep-going.
+    on_error = "keep" if (args.keep_going or args.max_failures) else "raise"
     failed = 0
+    quarantined = 0
+    failing_points: list = []  # (status, sweep, params, summary) per bad point
     try:
         for name, campaign in zip(names, campaigns):
             result = run_campaign(
@@ -248,10 +351,19 @@ def _cmd_sweep(argv: list[str]) -> int:
                 progress=progress,
                 backend=exec_backend,
                 resume=args.resume,
-                on_error="keep" if args.keep_going else "raise",
+                on_error=on_error,
+                retry=retry_policy,
+                retry_quarantined=args.retry_quarantined,
             )
             failed += result.errors
+            quarantined += result.quarantined
             for sweep_result in result.sweeps:
+                for outcome in sweep_result.outcomes:
+                    if outcome.status != "ok":
+                        failing_points.append(
+                            (outcome.status, sweep_result.name,
+                             outcome.params, _error_summary(outcome.error))
+                        )
                 print(format_table(sweep_result.rows, title=sweep_result.title))
                 print()
             summary = (
@@ -259,10 +371,15 @@ def _cmd_sweep(argv: list[str]) -> int:
             )
             if result.errors:
                 summary += f" ({result.errors} failed)"
+            if result.quarantined:
+                summary += f" ({result.quarantined} quarantined, skipped)"
             print(
                 summary + f" in {result.elapsed:.2f}s"
                 + ("" if cache else " (cache disabled)")
             )
+    except CircuitOpenError as exc:
+        print(f"sweep aborted: {exc.report.render()}", file=sys.stderr)
+        return 1
     except SweepPointError as exc:
         print(f"sweep failed: {exc}", file=sys.stderr)
         return 1
@@ -274,7 +391,17 @@ def _cmd_sweep(argv: list[str]) -> int:
                 os.environ.pop(key, None)
             else:
                 os.environ[key] = value
-    return 1 if failed else 0
+    if failing_points:
+        print(
+            f"{failed + quarantined} point(s) did not produce results:",
+            file=sys.stderr,
+        )
+        for status, sweep_name, params, reason in failing_points:
+            print(
+                f"  [{sweep_name}] {dict(params)!r} ({status}): {reason}",
+                file=sys.stderr,
+            )
+    return 1 if (failed or quarantined) else 0
 
 
 def _cmd_cache(argv: list[str]) -> int:
@@ -313,6 +440,11 @@ def _cmd_cache(argv: list[str]) -> int:
     print(f"entries   : {stats.entries}")
     print(f"size      : {stats.bytes / 1024:.1f} KiB")
     print(f"sweeps    : {', '.join(stats.sweeps) if stats.sweeps else '(none)'}")
+    if stats.quarantined:
+        print(f"quarantined: {stats.quarantined} known-permanent failure(s)")
+        for name, _, quarantined in stats.per_sweep:
+            if quarantined:
+                print(f"  {name}: {quarantined} point(s) (see --retry-quarantined)")
     return 0
 
 

@@ -20,8 +20,11 @@ per-point function
 
 Scenario families (:data:`repro.scenarios.SCENARIO_KINDS`): ``drift``
 (rates re-drawn over time), ``dropout`` (workers suffer severe
-slowdowns mid-run), ``congestion`` (background port traffic) and
-``brownout`` (shared-link bandwidth loss and recovery).
+slowdowns mid-run), ``congestion`` (background port traffic),
+``brownout`` (shared-link bandwidth loss and recovery),
+``randomwalk`` (rates wander as a bounded seeded stochastic process)
+and ``multidrop`` (a correlated multi-worker dropout cascade — one
+rack event, not independent victims).
 
 Expected shape: the demand-driven algorithms (ODDOML, DDOML, BMM,
 OBMM) absorb drift and dropout far better than the static assignments
@@ -57,7 +60,9 @@ __all__ = ["ALGORITHMS", "KINDS", "SEVERITIES", "run", "main", "sweep", "campaig
 
 #: The scenario families swept, in reporting order (the ``stationary``
 #: family is the implicit severity-0 baseline of every point).
-KINDS = ("drift", "dropout", "congestion", "brownout")
+KINDS = (
+    "drift", "dropout", "congestion", "brownout", "randomwalk", "multidrop",
+)
 #: The severity grid.
 SEVERITIES = (0.25, 0.5, 1.0)
 #: The seven Section-8 algorithms plus the MaxReuse reference.

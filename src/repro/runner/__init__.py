@@ -10,13 +10,22 @@ workers) with results memoized in a content-addressed on-disk
 :class:`ResultCache` whose per-sweep manifests make ``cache info`` and
 ``--resume`` O(1) index reads.  ``python -m repro sweep <name>`` is the
 CLI front-end; ``benchmarks/conftest.py`` reuses the same cache through
-:func:`cached_call`.  See ``docs/runner.md`` for the architecture.
+:func:`cached_call`.  A :class:`RetryPolicy` adds the fault-tolerance
+layer — bounded retries with deterministic backoff, per-point
+timeouts, a ``max_failures`` circuit breaker, and cache-level
+quarantine of known-permanent failures — proven against the
+deterministic :class:`~repro.runner.backends.ChaosBackend` fault
+injector.  See ``docs/runner.md`` for the architecture.
 """
 
 from repro.runner.backends import (
     BACKENDS,
+    ChaosBackend,
+    ChaosFault,
+    ChaosSpec,
     ExecutionBackend,
     PersistentBackend,
+    PointTimeout,
     ProcessBackend,
     SerialBackend,
     TaskResult,
@@ -42,8 +51,11 @@ from repro.runner.sweep import (
     FAILED,
     Campaign,
     CampaignResult,
+    CircuitOpenError,
+    FailureReport,
     PointOutcome,
     Progress,
+    RetryPolicy,
     Sweep,
     SweepPointError,
     SweepResult,
@@ -57,15 +69,22 @@ __all__ = [
     "CacheStats",
     "Campaign",
     "CampaignResult",
+    "ChaosBackend",
+    "ChaosFault",
+    "ChaosSpec",
+    "CircuitOpenError",
     "ExecutionBackend",
     "FAILED",
+    "FailureReport",
     "PersistentBackend",
     "PointOutcome",
+    "PointTimeout",
     "PrescreenResult",
     "PrescreenUnsupported",
     "ProcessBackend",
     "Progress",
     "ResultCache",
+    "RetryPolicy",
     "ScoredPoint",
     "SerialBackend",
     "Sweep",

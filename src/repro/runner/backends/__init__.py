@@ -1,32 +1,42 @@
 """Pluggable execution backends for the sweep runner.
 
-Importing this package registers the three built-in backends:
+Importing this package registers the built-in backends:
 
 ========== ==========================================================
 ``serial``     inline, zero overhead — the reference semantics
 ``process``    fresh pool per sweep, function shipped via initializer
-``persistent`` warm workers reused across sweeps, batched dispatch
+``persistent`` warm self-healing workers reused across sweeps,
+               batched dispatch, crash recovery
+``chaos``      deterministic fault injection around any of the above
 ========== ==========================================================
 
 See :mod:`repro.runner.backends.base` for the contract and
-``docs/runner.md`` for when to pick which.
+``docs/runner.md`` for when to pick which (including the
+fault-tolerance semantics: per-point timeouts, worker respawn, chaos
+profiles).
 """
 
 from repro.runner.backends.base import (
     BACKENDS,
     ExecutionBackend,
+    PointTimeout,
     TaskResult,
     create_backend,
     resolve_backend,
 )
+from repro.runner.backends.chaos import ChaosBackend, ChaosFault, ChaosSpec
 from repro.runner.backends.persistent import PersistentBackend
 from repro.runner.backends.process import ProcessBackend, parallel_map
 from repro.runner.backends.serial import SerialBackend
 
 __all__ = [
     "BACKENDS",
+    "ChaosBackend",
+    "ChaosFault",
+    "ChaosSpec",
     "ExecutionBackend",
     "PersistentBackend",
+    "PointTimeout",
     "ProcessBackend",
     "SerialBackend",
     "TaskResult",

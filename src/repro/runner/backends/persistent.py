@@ -1,8 +1,10 @@
-"""Warm-worker persistent pool — the campaign backend.
+"""Warm-worker persistent pool — the campaign backend, self-healing.
 
-One long-lived ``multiprocessing`` pool per backend instance, reused
+One long-lived set of worker processes per backend instance, reused
 across every ``map`` call (i.e. across all sweeps of a campaign and
-across repeated campaigns in one session).  Three design points:
+across repeated campaigns in one session).  Unlike the first
+incarnation (a ``multiprocessing.Pool``), the workers are managed
+directly so the pool can *survive its own workers dying*:
 
 * **function shipping** — tasks never pickle the point function.  Each
   task carries a ``(module, qualname)`` token; a worker resolves the
@@ -14,10 +16,23 @@ across repeated campaigns in one session).  Three design points:
   instead of running the wrong code.
 * **batching** — points are grouped into batches sized to a few batches
   per worker, amortising the per-task IPC round-trip that dominates
-  cheap points.  Results are flattened back into strict input order.
+  cheap points.  Each worker holds at most two batches (one running,
+  one prefetched) so a crash forfeits little; results are flattened
+  back into strict input order.
 * **failure isolation** — a worker wraps every point individually; a
   raising point yields an errored :class:`TaskResult` while the rest of
   the batch, the worker, and the pool live on.
+* **self-healing** — the parent polls worker liveness (``exitcode``)
+  while waiting for results.  A worker that dies (``kill -9``, OOM, a
+  segfaulting extension) is respawned and its in-flight batches are
+  requeued to the survivors, so an external kill costs only the points
+  of the forfeited batches.  A batch that kills its worker repeatedly
+  (:data:`MAX_BATCH_REQUEUES` exceeded) comes back as errored results
+  instead of crash-looping the pool.
+* **timeouts** — a per-point wall-clock ``timeout`` (see
+  :meth:`PersistentBackend.map`) is enforced *inside* each worker via
+  ``SIGALRM`` (:func:`repro.runner.backends.base.run_one`), so a hung
+  point becomes an ordinary errored result, not a stuck sweep.
 
 Use it whenever one session runs more than one sweep: the pool spin-up
 that the ``process`` backend pays per sweep is paid once here, and
@@ -28,9 +43,11 @@ baseline lookup) stay warm from sweep to sweep.
 from __future__ import annotations
 
 import importlib
+import queue as queue_mod
 from typing import (
     Any,
     Callable,
+    Dict,
     Iterator,
     List,
     Mapping,
@@ -47,9 +64,23 @@ from repro.runner.backends.base import (
     run_one,
 )
 
-__all__ = ["PersistentBackend"]
+__all__ = ["MAX_BATCH_REQUEUES", "PersistentBackend"]
 
 Token = Tuple[str, str]  # (module, qualname)
+#: A worker-side wrapper spec: factory token plus JSON-able kwargs.  The
+#: worker resolves the factory by import and applies it to the resolved
+#: point function (``factory(fn, requeue=n, **kwargs)``) — how the chaos
+#: backend injects faults inside real workers without pickling closures.
+WrapSpec = Tuple[str, str, Mapping[str, Any]]
+
+#: Times a batch is re-dispatched after killing its worker before its
+#: points are reported as errors instead (guards against a point that
+#: deterministically crashes every process it touches).
+MAX_BATCH_REQUEUES = 2
+
+#: How often (seconds) the parent wakes from the result wait to poll
+#: worker liveness.
+_POLL_S = 0.05
 
 #: Per-worker registry: token -> resolved point function.
 _FN_CACHE: dict = {}
@@ -58,7 +89,7 @@ _RESOLVE_PROBE: Optional[Callable[[Token], None]] = None
 
 
 def _init_worker(resolve_probe: Optional[Callable[[Token], None]]) -> None:
-    """Pool initializer: start each worker with an empty function cache."""
+    """Worker start-up: begin with an empty function cache."""
     global _RESOLVE_PROBE
     _FN_CACHE.clear()
     _RESOLVE_PROBE = resolve_probe
@@ -78,28 +109,57 @@ def _resolve(token: Token) -> PointFn:
     return fn
 
 
+def apply_wrap(fn: PointFn, wrap: Optional[WrapSpec], requeue: int = 0) -> PointFn:
+    """Apply a :data:`WrapSpec` to ``fn`` (identity when ``wrap`` is None).
+
+    ``requeue`` is how many times the executing batch has already been
+    re-dispatched after a worker crash; wrappers that model transient
+    faults fold it into their attempt accounting.
+    """
+    if wrap is None:
+        return fn
+    module_name, qualname, kwargs = wrap
+    obj: Any = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj(fn, requeue=requeue, **kwargs)
+
+
 def _run_batch(
-    task: Tuple[Token, List[Mapping[str, Any]]]
+    token: Token, batch: List[Mapping[str, Any]], options: Mapping[str, Any]
 ) -> List[Tuple[Any, float, Optional[str]]]:
-    """Worker task: evaluate one batch of points with the token's function.
+    """Worker: evaluate one batch of points with the token's function.
 
     Every point is isolated; a resolution failure (module vanished
     between parent check and worker import) errors the whole batch but
     still returns results instead of raising through the pool.
     """
-    token, batch = task
     try:
-        fn = _resolve(token)
+        fn = apply_wrap(
+            _resolve(token), options.get("wrap"), options.get("requeue", 0)
+        )
     except Exception:
         import traceback
 
         error = traceback.format_exc()
         return [(None, 0.0, error) for _ in batch]
+    timeout = options.get("timeout")
     out = []
     for params in batch:
-        result = run_one(fn, params)
+        result = run_one(fn, params, timeout=timeout)
         out.append((result.value, result.seconds, result.error))
     return out
+
+
+def _worker_main(inq, outq, resolve_probe) -> None:
+    """Worker process loop: serve batches until the ``None`` sentinel."""
+    _init_worker(resolve_probe)
+    while True:
+        task = inq.get()
+        if task is None:
+            break
+        gen, batch_id, token, batch, options = task
+        outq.put((gen, batch_id, _run_batch(token, batch, options)))
 
 
 def _token_for(fn: PointFn) -> Optional[Token]:
@@ -122,11 +182,44 @@ def _token_for(fn: PointFn) -> Optional[Token]:
     return (module, qualname) if obj is fn else None
 
 
+class _Batch:
+    """Parent-side bookkeeping for one dispatched batch."""
+
+    __slots__ = ("id", "items", "requeues")
+
+    def __init__(self, batch_id: int, items: List[Mapping[str, Any]]):
+        self.id = batch_id
+        self.items = items
+        self.requeues = 0
+
+
+class _Worker:
+    """One managed worker process plus its private task queue."""
+
+    __slots__ = ("process", "inq", "in_flight")
+
+    def __init__(self, ctx, outq, resolve_probe):
+        self.inq = ctx.Queue()
+        self.in_flight: List[_Batch] = []
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(self.inq, outq, resolve_probe),
+            daemon=True,
+        )
+        self.process.start()
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
 @register
 class PersistentBackend:
-    """A warm worker pool shared by every sweep of a session."""
+    """A warm, self-healing worker pool shared by every sweep of a session."""
 
     name = "persistent"
+    #: The chaos backend probes this: wrappers travel as import tokens
+    #: in the task options and are applied inside the real workers.
+    supports_wrap = True
 
     def __init__(
         self,
@@ -137,25 +230,48 @@ class PersistentBackend:
         self.jobs = max(1, jobs)
         self.batch_size = batch_size  # None: sized per map call
         self._resolve_probe = resolve_probe
-        self._pool = None
+        self._ctx = pool_context()
+        self._workers: List[_Worker] = []
+        self._outq = None
+        self._gen = 0  # map-call generation; stale results are discarded
+        #: Workers respawned after unexpected deaths (observability/tests).
+        self.respawns = 0
 
     # -- pool lifecycle -------------------------------------------------
 
-    def _ensure_pool(self):
-        if self._pool is None:
-            self._pool = pool_context().Pool(
-                processes=self.jobs,
-                initializer=_init_worker,
-                initargs=(self._resolve_probe,),
+    def _ensure_workers(self) -> None:
+        if self._outq is None:
+            self._outq = self._ctx.Queue()
+        while len(self._workers) < self.jobs:
+            self._workers.append(
+                _Worker(self._ctx, self._outq, self._resolve_probe)
             )
-        return self._pool
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live workers (diagnostics and crash tests)."""
+        return [
+            w.process.pid for w in self._workers
+            if w.process.pid is not None and w.alive()
+        ]
+
+    @property
+    def _pool(self):
+        """Truthy while warm workers exist (kept for back-compat probes)."""
+        return tuple(self._workers) or None
 
     def close(self) -> None:
         """Shut the pool down; the next ``map`` would start a fresh one."""
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
+        for worker in self._workers:
+            try:
+                worker.inq.put(None)
+            except (OSError, ValueError):
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join()
+        self._drop_queues()
 
     def terminate(self) -> None:
         """Drop the pool *now*, abandoning any queued batches.
@@ -164,10 +280,17 @@ class PersistentBackend:
         already submitted, which on an errored sweep means silently
         simulating the whole remainder before the failure surfaces.
         """
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        for worker in self._workers:
+            if worker.process.is_alive():
+                worker.process.terminate()
+            worker.process.join()
+        self._drop_queues()
+
+    def _drop_queues(self) -> None:
+        self._workers = []
+        if self._outq is not None:
+            self._outq.close()
+            self._outq = None
 
     def __enter__(self) -> "PersistentBackend":
         return self
@@ -177,42 +300,128 @@ class PersistentBackend:
 
     # -- execution ------------------------------------------------------
 
-    def _batches(
-        self, token: Token, items: Sequence[Mapping[str, Any]]
-    ) -> List[Tuple[Token, List[Mapping[str, Any]]]]:
+    def _batches(self, items: Sequence[Mapping[str, Any]]) -> List[_Batch]:
         """Slice ``items`` into order-preserving batches.
 
         Default size targets ~4 batches per worker — large enough to
         amortise IPC on cheap points, small enough that the tail of a
-        sweep still load-balances across the pool.
+        sweep still load-balances across the pool (and that a crashed
+        worker forfeits little).
         """
         size = self.batch_size or max(1, len(items) // (self.jobs * 4))
         return [
-            (token, list(items[i : i + size]))
+            _Batch(i // size, list(items[i : i + size]))
             for i in range(0, len(items), size)
         ]
 
+    def _dispatch(self, worker: _Worker, batch: _Batch, token, options) -> None:
+        worker.in_flight.append(batch)
+        worker.inq.put(
+            (self._gen, batch.id, token, batch.items,
+             {**options, "requeue": batch.requeues})
+        )
+
+    def _heal(self, pending: List[_Batch], done: Dict[int, list]) -> None:
+        """Respawn dead workers, requeueing whatever they were running.
+
+        A batch that has already crashed :data:`MAX_BATCH_REQUEUES`
+        workers is completed as errored results instead of re-dispatched
+        — one poisonous point must not crash-loop the pool forever.
+        """
+        for idx, worker in enumerate(self._workers):
+            if worker.alive():
+                continue
+            worker.process.join()  # reap
+            orphans, worker.in_flight = worker.in_flight, []
+            self._workers[idx] = _Worker(
+                self._ctx, self._outq, self._resolve_probe
+            )
+            self.respawns += 1
+            for batch in orphans:
+                if batch.id in done:
+                    continue  # its result raced in just before the death
+                batch.requeues += 1
+                if batch.requeues > MAX_BATCH_REQUEUES:
+                    done[batch.id] = [
+                        (None, 0.0,
+                         f"worker died {batch.requeues} times while computing "
+                         f"this batch (params: {dict(params)!r})")
+                        for params in batch.items
+                    ]
+                else:
+                    pending.insert(0, batch)
+
     def map(
-        self, fn: PointFn, items: Sequence[Mapping[str, Any]]
+        self,
+        fn: PointFn,
+        items: Sequence[Mapping[str, Any]],
+        *,
+        timeout: Optional[float] = None,
+        attempt: int = 0,
+        wrap: Optional[WrapSpec] = None,
     ) -> Iterator[TaskResult]:
         if not items:
             return
         token = _token_for(fn)
         if token is None or self.jobs <= 1:
             # Unshippable function, or nothing to fan out over: inline
-            # is byte-identical and cheaper.
+            # is byte-identical and cheaper.  Wrappers still apply (the
+            # chaos backend downgrades worker kills to exceptions here);
+            # timeouts are not enforced inline, as with the serial
+            # backend.
+            inline_fn = apply_wrap(fn, wrap)
             for params in items:
-                yield run_one(fn, params)
+                yield run_one(inline_fn, params)
             return
-        pool = self._ensure_pool()
-        results = pool.imap(_run_batch, self._batches(token, items), chunksize=1)
+
+        self._gen += 1
+        gen = self._gen
+        self._ensure_workers()
+        options = {"timeout": timeout, "wrap": wrap}
+        batches = self._batches(items)
+        total_batches = len(batches)
+        pending = list(batches)
+        done: Dict[int, list] = {}  # batch id -> raw result triples
+        next_out = 0  # next batch id to yield
         delivered = 0
+
+        def fill_workers() -> None:
+            # Each worker holds at most 2 batches: one running, one
+            # prefetched — enough to hide the dispatch round-trip, small
+            # enough that a crash forfeits little work.
+            for worker in self._workers:
+                while pending and len(worker.in_flight) < 2:
+                    self._dispatch(worker, pending.pop(0), token, options)
+
+        def reap(batch_id: int) -> None:
+            for worker in self._workers:
+                for batch in worker.in_flight:
+                    if batch.id == batch_id:
+                        worker.in_flight.remove(batch)
+                        return
+
         try:
-            for batch_result in results:
-                for value, seconds, error in batch_result:
+            fill_workers()
+            while next_out < total_batches:
+                while next_out not in done:
+                    try:
+                        rgen, batch_id, results = self._outq.get(
+                            timeout=_POLL_S
+                        )
+                    except queue_mod.Empty:
+                        self._heal(pending, done)
+                        fill_workers()
+                        continue
+                    if rgen != gen or batch_id in done:
+                        continue  # stale generation or post-requeue duplicate
+                    done[batch_id] = results
+                    reap(batch_id)
+                    fill_workers()
+                for value, seconds, error in done.pop(next_out):
                     delivered += 1  # before the yield: a close() while
                     # suspended there must count this result as served
                     yield TaskResult(value=value, seconds=seconds, error=error)
+                next_out += 1
         except GeneratorExit:
             # Closed by the consumer.  After the final result the frame
             # is still suspended at its last yield, so a close() on a

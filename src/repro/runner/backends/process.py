@@ -30,12 +30,19 @@ __all__ = ["ProcessBackend", "parallel_map"]
 
 #: The point function installed in this worker by the pool initializer.
 _WORKER_FN: Optional[PointFn] = None
+#: Per-point wall-clock timeout installed alongside it (``None`` = off).
+_WORKER_TIMEOUT: Optional[float] = None
 
 
-def _install_fn(fn: PointFn, on_install: Optional[Callable[[], None]] = None) -> None:
+def _install_fn(
+    fn: PointFn,
+    on_install: Optional[Callable[[], None]] = None,
+    timeout: Optional[float] = None,
+) -> None:
     """Pool initializer: receive the point function once per worker."""
-    global _WORKER_FN
+    global _WORKER_FN, _WORKER_TIMEOUT
     _WORKER_FN = fn
+    _WORKER_TIMEOUT = timeout
     if on_install is not None:
         on_install()
 
@@ -44,7 +51,7 @@ def _run_installed(params: Mapping[str, Any]) -> Tuple[Any, float, Optional[str]
     """Worker task: run the installed function on one point, capturing
     failure as ``(None, seconds, traceback)`` — plain tuples cross the
     pipe cheaply and unconditionally."""
-    result = run_one(_WORKER_FN, params)
+    result = run_one(_WORKER_FN, params, timeout=_WORKER_TIMEOUT)
     return result.value, result.seconds, result.error
 
 
@@ -74,7 +81,12 @@ class ProcessBackend:
         self._initializer_probe = initializer_probe
 
     def map(
-        self, fn: PointFn, items: Sequence[Mapping[str, Any]]
+        self,
+        fn: PointFn,
+        items: Sequence[Mapping[str, Any]],
+        *,
+        timeout: Optional[float] = None,
+        attempt: int = 0,
     ) -> Iterator[TaskResult]:
         workers = min(self.jobs, len(items))
         if workers <= 1:
@@ -84,7 +96,7 @@ class ProcessBackend:
         with pool_context().Pool(
             processes=workers,
             initializer=_install_fn,
-            initargs=(fn, self._initializer_probe),
+            initargs=(fn, self._initializer_probe, timeout),
         ) as pool:
             for value, seconds, error in pool.imap(
                 _run_installed, list(items), chunksize=1

@@ -9,7 +9,7 @@ oracle the pooled backends are tested byte-identical against.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Mapping, Sequence
+from typing import Any, Iterator, Mapping, Optional, Sequence
 
 from repro.runner.backends.base import PointFn, TaskResult, register, run_one
 
@@ -18,7 +18,13 @@ __all__ = ["SerialBackend"]
 
 @register
 class SerialBackend:
-    """Evaluate points inline in the calling process."""
+    """Evaluate points inline in the calling process.
+
+    ``timeout`` is accepted but **not enforced**: there is no worker to
+    preempt, and arming signal timers in the caller's process would
+    interfere with whatever embeds the library.  Pick a pooled backend
+    when timeout enforcement matters (see ``docs/runner.md``).
+    """
 
     name = "serial"
 
@@ -26,7 +32,12 @@ class SerialBackend:
         self.jobs = 1  # by definition
 
     def map(
-        self, fn: PointFn, items: Sequence[Mapping[str, Any]]
+        self,
+        fn: PointFn,
+        items: Sequence[Mapping[str, Any]],
+        *,
+        timeout: Optional[float] = None,
+        attempt: int = 0,
     ) -> Iterator[TaskResult]:
         for params in items:
             yield run_one(fn, params)

@@ -19,7 +19,16 @@ Journal records are single JSON lines::
     {"op": "put", "key": "<digest>", "bytes": N, "created": T}
     {"op": "del", "key": "<digest>"}
 
-and the index is the fold: last ``put`` wins, ``del`` removes.
+    {"op": "quarantine", "key": "<digest>", "params": {...}, "error": "...", "created": T}
+
+and the index is the fold: last ``put`` wins, ``del`` removes, and
+``quarantine`` marks a key as a *known-permanent failure* (a point that
+exhausted its retry budget under the runner's fault-tolerance layer —
+see ``docs/runner.md``).  Quarantined keys have **no entry file**;
+they exist only in the journal, so they can never be served as data.
+A later successful ``put`` of the same key clears its quarantine
+record (the fold is last-op-wins), which is exactly what a
+``--retry-quarantined`` run does when the point finally computes.
 
 Robustness rules:
 
@@ -77,11 +86,18 @@ def default_cache_dir() -> Path:
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Aggregate numbers for ``python -m repro cache info``."""
+    """Aggregate numbers for ``python -m repro cache info``.
+
+    ``per_sweep`` maps sweep name to ``(entries, quarantined)`` so the
+    CLI can surface known-permanent failures per namespace without
+    another index read.
+    """
 
     entries: int
     bytes: int
     sweeps: Tuple[str, ...]
+    quarantined: int = 0
+    per_sweep: Tuple[Tuple[str, int, int], ...] = ()
 
 
 class ResultCache:
@@ -180,15 +196,19 @@ class ResultCache:
         finally:
             os.close(fd)
 
-    def _read_manifest(self, sweep: str) -> Dict[str, int] | None:
-        """Fold the journal into ``{key: bytes}``, or ``None`` when the
-        manifest is absent or any line is unparsable (torn concurrent
-        write, manual edit) — the caller rebuilds from entry files."""
+    def _read_manifest(
+        self, sweep: str
+    ) -> Tuple[Dict[str, int], Dict[str, dict]] | None:
+        """Fold the journal into ``({key: bytes}, {key: quarantine})``,
+        or ``None`` when the manifest is absent or any line is
+        unparsable (torn concurrent write, manual edit) — the caller
+        rebuilds from entry files."""
         try:
             text = self.manifest_path(sweep).read_text()
         except OSError:
             return None
         live: Dict[str, int] = {}
+        quar: Dict[str, dict] = {}
         for line in text.splitlines():
             if not line.strip():
                 continue
@@ -199,22 +219,29 @@ class ResultCache:
                 return None
             if op == "put":
                 live[key] = int(record.get("bytes", 0))
+                quar.pop(key, None)  # a success clears the quarantine
             elif op == "del":
                 live.pop(key, None)
+            elif op == "quarantine":
+                quar[key] = record
             else:
                 return None
-        return live
+        return live, quar
 
     def rebuild_manifest(self, sweep: str) -> Dict[str, int]:
         """Re-derive the sweep's index from its entry files.
 
         The self-healing path: keys are the entry filenames and sizes
-        come from ``stat``, so no entry is opened.  The new manifest is
-        written atomically (temp file + replace); a concurrent append
-        racing the replace loses at most its own record, which the next
-        ``put`` of that key — or the next rebuild — restores.  On a
-        read-only cache the derived index is returned without being
-        persisted (re-derived on every read — correct, just not O(1)).
+        come from ``stat``, so no entry is opened.  Quarantine records
+        exist *only* in the journal, so the rebuild salvages every
+        parsable quarantine line from the old (possibly torn) manifest —
+        a single corrupt line must not amnesty a known-permanent
+        failure.  The new manifest is written atomically (temp file +
+        replace); a concurrent append racing the replace loses at most
+        its own record, which the next ``put`` of that key — or the
+        next rebuild — restores.  On a read-only cache the derived
+        index is returned without being persisted (re-derived on every
+        read — correct, just not O(1)).
         """
         target = self.root / sweep
         live: Dict[str, int] = {}
@@ -226,10 +253,30 @@ class ResultCache:
                     continue  # vanished mid-scan
         else:
             return live
+        quar: Dict[str, dict] = {}
+        try:
+            old = self.manifest_path(sweep).read_text()
+        except OSError:
+            old = ""
+        for line in old.splitlines():
+            try:
+                record = json.loads(line)
+                op, key = record["op"], record["key"]
+            except (ValueError, KeyError, TypeError):
+                continue  # salvage what parses, skip the torn line
+            if op == "quarantine":
+                quar[key] = record
+            elif op == "put":
+                quar.pop(key, None)
+        for key in live:
+            quar.pop(key, None)  # an entry file on disk outranks it
         lines = "".join(
             json.dumps({"op": "put", "key": key, "bytes": size},
                        separators=(",", ":")) + "\n"
             for key, size in sorted(live.items())
+        ) + "".join(
+            json.dumps(record, separators=(",", ":")) + "\n"
+            for _, record in sorted(quar.items())
         )
         try:
             fd, tmp = tempfile.mkstemp(dir=target, suffix=".tmp")
@@ -248,10 +295,54 @@ class ResultCache:
 
     def manifest(self, sweep: str) -> Dict[str, int]:
         """The sweep's live index, ``{key: bytes}`` (healed if needed)."""
-        live = self._read_manifest(sweep)
-        if live is None:
-            live = self.rebuild_manifest(sweep)
-        return live
+        folded = self._read_manifest(sweep)
+        if folded is None:
+            return self.rebuild_manifest(sweep)
+        return folded[0]
+
+    # -- quarantine -----------------------------------------------------
+
+    def quarantine(
+        self, sweep: str, key: str, params: Mapping[str, Any], error: str
+    ) -> None:
+        """Journal ``key`` as a known-permanent failure.
+
+        Written by the runner when a point exhausts its retry budget
+        under ``on_error="keep"``: resumes then skip the point instead
+        of re-failing it (``--retry-quarantined`` opts back in), and
+        ``cache info`` surfaces the count.  Best-effort like every
+        index write — a read-only cache loses the record, never the
+        run.
+        """
+        target = self.root / sweep
+        try:
+            target.mkdir(parents=True, exist_ok=True)
+            if not self.manifest_path(sweep).exists() and any(
+                p.suffix == ".json" for p in target.iterdir()
+            ):
+                # Legacy (pre-manifest) directory: index the entries
+                # first so the new journal is a complete fold.
+                self.rebuild_manifest(sweep)
+            self._append_manifest(
+                sweep,
+                {"op": "quarantine", "key": key, "params": dict(params),
+                 "error": str(error), "created": time.time()},
+            )
+        except OSError:
+            pass
+
+    def quarantined(self, sweep: str) -> Dict[str, dict]:
+        """The sweep's known-permanent failures, ``{key: record}``.
+
+        Each record carries the offending ``params`` and the final
+        ``error`` string.  Keys with a live entry (a later successful
+        put) are never listed.
+        """
+        folded = self._read_manifest(sweep)
+        if folded is None:
+            self.rebuild_manifest(sweep)  # salvages quarantine lines
+            folded = self._read_manifest(sweep)
+        return folded[1] if folded is not None else {}
 
     def manifest_keys(self, sweep: str) -> Set[str]:
         """Keys the index lists for ``sweep`` — the resume fast path.
@@ -288,18 +379,34 @@ class ResultCache:
         """
         count = 0
         size = 0
+        bad = 0
         sweeps = []
+        per_sweep = []
         if self.root.is_dir():
             for child in sorted(self.root.iterdir()):
                 if not child.is_dir():
                     continue
-                live = self.manifest(child.name)
-                if not live:
+                folded = self._read_manifest(child.name)
+                if folded is None:
+                    live = self.rebuild_manifest(child.name)
+                    refolded = self._read_manifest(child.name)
+                    quar = refolded[1] if refolded is not None else {}
+                else:
+                    live, quar = folded
+                if not live and not quar:
                     continue
                 count += len(live)
                 size += sum(live.values())
+                bad += len(quar)
                 sweeps.append(child.name)
-        return CacheStats(entries=count, bytes=size, sweeps=tuple(sweeps))
+                per_sweep.append((child.name, len(live), len(quar)))
+        return CacheStats(
+            entries=count,
+            bytes=size,
+            sweeps=tuple(sweeps),
+            quarantined=bad,
+            per_sweep=tuple(per_sweep),
+        )
 
     def clear(self, sweep: str | None = None) -> int:
         """Delete all entries (or one sweep's); returns the count removed.

@@ -24,10 +24,11 @@ Design rules the experiment modules follow:
 
 from __future__ import annotations
 
+import hashlib
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.runner.backends import ExecutionBackend, resolve_backend
 from repro.runner.cache import ResultCache
@@ -36,9 +37,12 @@ from repro.runner.hashing import code_version, point_key
 __all__ = [
     "Campaign",
     "CampaignResult",
+    "CircuitOpenError",
     "FAILED",
+    "FailureReport",
     "PointOutcome",
     "Progress",
+    "RetryPolicy",
     "Sweep",
     "SweepPointError",
     "SweepResult",
@@ -75,6 +79,150 @@ def stamp_points(
 
 PointFn = Callable[[Mapping[str, Any]], Any]
 AggregateFn = Callable[[List[Any]], Any]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """The sweep runner's fault-tolerance knobs.
+
+    The default-constructed policy is **inert**: no retries, no
+    timeout, no breaker — and, by design, byte-invisible (an inert
+    policy makes :func:`run_sweep` issue exactly the same backend
+    calls, cache keys, and manifest records as a build without the
+    retry layer at all).
+
+    Attributes:
+        retries: extra attempts per failed point (0 = fail fast).
+        backoff: base delay before retry round 1, seconds; round ``r``
+            waits ``backoff * 2**(r-1)``, capped at ``backoff_cap``.
+        backoff_cap: upper bound on any single round's delay.
+        jitter: fraction of the delay randomized *downward* —
+            deterministically, seeded by ``(seed, sweep, round)`` — so
+            reruns sleep identical amounts while distinct sweeps
+            desynchronize.
+        seed: jitter seed.
+        timeout: per-point wall-clock limit, seconds, enforced inside
+            the worker by the process/persistent backends (the serial
+            backend never interrupts a point — see ``docs/runner.md``).
+            A timed-out point fails with a ``PointTimeout`` error and
+            is retried like any other failure.
+        max_failures: circuit breaker — abort the whole sweep with a
+            :class:`CircuitOpenError` (carrying a structured
+            :class:`FailureReport`) as soon as this many points have
+            *permanently* failed, i.e. exhausted their retry budget
+            under ``on_error="keep"``.  ``None`` disables the breaker.
+    """
+
+    retries: int = 0
+    backoff: float = 0.05
+    backoff_cap: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+    timeout: Optional[float] = None
+    max_failures: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff and backoff_cap must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.max_failures is not None and self.max_failures < 1:
+            raise ValueError(
+                f"max_failures must be >= 1, got {self.max_failures}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """Whether any knob departs from the inert default."""
+        return bool(
+            self.retries or self.timeout is not None
+            or self.max_failures is not None
+        )
+
+    def delay(self, round_no: int, token: str = "") -> float:
+        """Seconds to sleep before retry round ``round_no`` (1-based).
+
+        Exponential in the round, capped, with deterministic jitter:
+        the same ``(seed, token, round)`` always sleeps the same
+        amount, so retried runs stay reproducible end to end.
+        """
+        base = min(self.backoff * (2.0 ** (round_no - 1)), self.backoff_cap)
+        if base <= 0 or not self.jitter:
+            return max(base, 0.0)
+        digest = hashlib.sha256(
+            f"{self.seed}\0{token}\0{round_no}".encode()
+        ).digest()
+        frac = int.from_bytes(digest[:8], "big") / 2.0**64
+        return base * (1.0 - self.jitter * frac)
+
+
+@dataclass(frozen=True)
+class FailureReport:
+    """What the circuit breaker knew when it opened.
+
+    ``failures`` holds one mapping per permanently failed point:
+    ``{"params": {...}, "error": <summary line>, "attempts": n}``.
+    ``resolved`` counts points with final outcomes (cached, computed,
+    or failed) at trip time — the rest of the sweep was abandoned.
+    """
+
+    sweep: str
+    total: int
+    resolved: int
+    max_failures: int
+    failures: Tuple[Mapping[str, Any], ...]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sweep": self.sweep,
+            "total": self.total,
+            "resolved": self.resolved,
+            "max_failures": self.max_failures,
+            "failures": [dict(f) for f in self.failures],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"sweep {self.sweep!r}: circuit breaker opened after "
+            f"{len(self.failures)} permanent point failure(s) "
+            f"(max-failures={self.max_failures}); "
+            f"{self.resolved}/{self.total} points resolved before abort"
+        ]
+        for failure in self.failures:
+            lines.append(
+                f"  - params={failure['params']!r} "
+                f"attempts={failure['attempts']}: {failure['error']}"
+            )
+        return "\n".join(lines)
+
+
+class CircuitOpenError(RuntimeError):
+    """Too many permanent point failures — the sweep was aborted.
+
+    Raised by :func:`run_sweep` when :attr:`RetryPolicy.max_failures`
+    is reached; carries the structured :class:`FailureReport` as
+    ``.report``.
+    """
+
+    def __init__(self, report: FailureReport):
+        self.report = report
+        super().__init__(report.render())
+
+
+def _error_summary(error: Optional[str]) -> str:
+    """One informative line out of a worker's error text.
+
+    Tracebacks end with ``ExceptionType: message``; the runner's own
+    synthesized errors (timeouts, dead workers) lead with it.
+    """
+    lines = [l for l in (error or "").strip().splitlines() if l.strip()]
+    if not lines:
+        return "unknown error"
+    return lines[-1] if lines[0].startswith("Traceback") else lines[0]
 
 
 class SweepPointError(RuntimeError):
@@ -183,10 +331,13 @@ class PointOutcome:
     """A resolved point: parameters, cache key (empty string when run
     without a cache), value, provenance.
 
-    ``status`` is ``"ok"`` or ``"error"``; errored points (only possible
-    under ``on_error="keep"``) carry the worker traceback in ``error``,
-    a ``None`` value, and are never written to the cache — a later
-    ``--resume`` run re-computes exactly those.
+    ``status`` is ``"ok"``, ``"error"``, or ``"quarantined"``.  Errored
+    points (only possible under ``on_error="keep"``) carry the worker
+    traceback in ``error``, a ``None`` value, and are never written to
+    the cache — a later ``--resume`` run re-computes exactly those,
+    *except* points the cache has quarantined as known-permanent
+    failures: those resolve as ``status="quarantined"`` without being
+    computed (pass ``retry_quarantined=True`` to opt back in).
     """
 
     params: Mapping[str, Any]
@@ -219,9 +370,14 @@ class SweepResult:
         return sum(1 for o in self.outcomes if o.status == "error")
 
     @property
+    def quarantined(self) -> int:
+        """Points skipped as known-permanent failures on resume."""
+        return sum(1 for o in self.outcomes if o.status == "quarantined")
+
+    @property
     def misses(self) -> int:
         """Points actually computed this run (successfully or not)."""
-        return len(self.outcomes) - self.hits
+        return len(self.outcomes) - self.hits - self.quarantined
 
 
 @dataclass
@@ -244,6 +400,10 @@ class CampaignResult:
         return sum(s.errors for s in self.sweeps)
 
     @property
+    def quarantined(self) -> int:
+        return sum(s.quarantined for s in self.sweeps)
+
+    @property
     def elapsed(self) -> float:
         return sum(s.elapsed for s in self.sweeps)
 
@@ -251,6 +411,33 @@ class CampaignResult:
     def tables(self) -> dict:
         """Sweep name → aggregated rows."""
         return {s.name: s.rows for s in self.sweeps}
+
+
+def _map(
+    backend: ExecutionBackend,
+    fn: PointFn,
+    items: Sequence[Mapping[str, Any]],
+    timeout: Optional[float],
+    attempt: int,
+):
+    """Dispatch to the backend, invisibly when fault tolerance is off.
+
+    With no timeout and attempt 0 the call is *argument-identical* to
+    the pre-fault-tolerance runner — the byte-invisibility guarantee:
+    a failure-free default run issues exactly the historic backend
+    calls (so third-party backends without the new keywords keep
+    working, and nothing about dispatch order or results can shift).
+    """
+    if timeout is None and attempt == 0:
+        return backend.map(fn, items)
+    return backend.map(fn, items, timeout=timeout, attempt=attempt)
+
+
+def _close(computed) -> None:
+    """Close a backend result generator, if it is one."""
+    close = getattr(computed, "close", None)
+    if close is not None:
+        close()
 
 
 def run_sweep(
@@ -262,6 +449,8 @@ def run_sweep(
     backend: ExecutionBackend | str | None = None,
     resume: bool = False,
     on_error: str = "raise",
+    retry: RetryPolicy | None = None,
+    retry_quarantined: bool = False,
 ) -> SweepResult:
     """Evaluate every point of ``sweep``, cheapest source first.
 
@@ -295,15 +484,29 @@ def run_sweep(
             (the default aggregation drops them; a custom aggregate
             that raises on the holes yields the successful values
             unaggregated).
+        retry: the :class:`RetryPolicy` — bounded per-point retries
+            with deterministic backoff, a per-point timeout, and the
+            ``max_failures`` circuit breaker.  ``None`` (the default)
+            is the inert policy: the runner behaves, byte for byte,
+            as if the fault-tolerance layer did not exist.
+        retry_quarantined: on a ``resume`` run, re-attempt points the
+            cache has quarantined as known-permanent failures instead
+            of skipping them (a success clears the quarantine record).
 
     Point results reach ``sweep.aggregate`` in declaration order no
     matter which points were cached or which backend ran the rest, so
     the aggregated rows are identical across all execution modes.
+    Retries change neither: a point that succeeds on attempt ``k``
+    produces the same value, cache key, and manifest record as one
+    that succeeds on attempt 0, and results still stream in
+    declaration order (a retried point simply resolves late, after a
+    ``status="retry"`` progress event per failed attempt).
     """
     if resume and cache is None:
         raise ValueError("resume=True requires a cache")
     if on_error not in ("raise", "keep"):
         raise ValueError(f"on_error must be 'raise' or 'keep', got {on_error!r}")
+    policy = retry or RetryPolicy()
     start = time.perf_counter()
     total = len(sweep.points)
     if cache and code is None:
@@ -315,8 +518,23 @@ def run_sweep(
     resolved: List[Optional[PointOutcome]] = [None] * total
 
     known = cache.manifest_keys(sweep.name) if (cache and resume) else None
+    quarantined = (
+        cache.quarantined(sweep.name)
+        if (cache and resume and not retry_quarantined)
+        else {}
+    )
     missing: List[int] = []
     for idx, params in enumerate(sweep.points):
+        if cache and keys[idx] in quarantined:
+            # A known-permanent failure from a previous run: resolve it
+            # as quarantined instead of burning its full retry budget
+            # again.  --retry-quarantined opts back in.
+            resolved[idx] = PointOutcome(
+                params, keys[idx], None, False, 0.0,
+                status="quarantined",
+                error=quarantined[keys[idx]].get("error"),
+            )
+            continue
         if cache and (known is None or keys[idx] in known):
             # A manifest listing is a hint, not a promise: get() still
             # validates the entry file and reports a stale index entry
@@ -329,47 +547,128 @@ def run_sweep(
 
     exec_backend, owned = resolve_backend(backend, jobs)
     result = SweepResult(name=sweep.name, title=sweep.title)
+
+    def emit(idx: int, outcome: PointOutcome) -> None:
+        if progress:
+            progress(
+                Progress(
+                    sweep=sweep.name,
+                    index=idx,
+                    total=total,
+                    params=outcome.params,
+                    cached=outcome.cached,
+                    seconds=outcome.seconds,
+                    status=outcome.status,
+                )
+            )
+
+    def emit_retry(idx: int, task) -> None:
+        if progress:
+            progress(
+                Progress(
+                    sweep=sweep.name,
+                    index=idx,
+                    total=total,
+                    params=sweep.points[idx],
+                    cached=False,
+                    seconds=task.seconds,
+                    status="retry",
+                )
+            )
+
+    def succeed(idx: int, task) -> None:
+        params, key = sweep.points[idx], keys[idx] if cache else ""
+        value = _normalize(task.value)
+        if cache:
+            cache.put(sweep.name, key, params, value)
+        outcome = PointOutcome(params, key, value, False, task.seconds)
+        resolved[idx] = outcome
+        emit(idx, outcome)
+
+    failures: List[Dict[str, Any]] = []
+
+    def fail(idx: int, task, attempts: int) -> None:
+        """A point is out of attempts: keep, raise, or trip the breaker."""
+        params, key = sweep.points[idx], keys[idx] if cache else ""
+        if on_error == "raise":
+            raise SweepPointError(
+                sweep.name, params, task.error
+            ) from task.exception
+        outcome = PointOutcome(
+            params, key, None, False, task.seconds,
+            status="error", error=task.error,
+        )
+        resolved[idx] = outcome
+        if cache and policy.retries > 0:
+            # The point failed every attempt of an explicit retry
+            # budget: quarantine it so resumes stop paying for it.
+            # (Without a retry policy nothing is journalled — failed
+            # points stay uncached and resume recomputes them, the
+            # historic behaviour.)
+            cache.quarantine(sweep.name, key, params, _error_summary(task.error))
+        failures.append(
+            {"params": dict(params), "error": _error_summary(task.error),
+             "attempts": attempts}
+        )
+        emit(idx, outcome)
+        if policy.max_failures is not None and len(failures) >= policy.max_failures:
+            raise CircuitOpenError(
+                FailureReport(
+                    sweep=sweep.name,
+                    total=total,
+                    resolved=sum(1 for o in resolved if o is not None),
+                    max_failures=policy.max_failures,
+                    failures=tuple(failures),
+                )
+            )
+
     miss_points = [sweep.points[i] for i in missing]
-    computed = exec_backend.map(sweep.run_fn, miss_points)
+    computed = _map(exec_backend, sweep.run_fn, miss_points, policy.timeout, 0)
     try:
+        pending: List[int] = []
         for idx in range(total):
             outcome = resolved[idx]
-            if outcome is None:
+            if outcome is not None:
+                emit(idx, outcome)
+                continue
+            task = next(computed)
+            if task.error is None:
+                succeed(idx, task)
+            elif policy.retries > 0:
+                pending.append(idx)
+                emit_retry(idx, task)
+            else:
+                fail(idx, task, attempts=1)
+        for round_no in range(1, policy.retries + 1):
+            if not pending:
+                break
+            delay = policy.delay(round_no, sweep.name)
+            if delay > 0:
+                time.sleep(delay)
+            _close(computed)
+            computed = _map(
+                exec_backend,
+                sweep.run_fn,
+                [sweep.points[i] for i in pending],
+                policy.timeout,
+                round_no,
+            )
+            still_failing: List[int] = []
+            for idx in pending:
                 task = next(computed)
-                params, key = sweep.points[idx], keys[idx] if cache else ""
-                if task.error is not None:
-                    if on_error == "raise":
-                        raise SweepPointError(
-                            sweep.name, params, task.error
-                        ) from task.exception
-                    outcome = PointOutcome(
-                        params, key, None, False, task.seconds,
-                        status="error", error=task.error,
-                    )
+                if task.error is None:
+                    succeed(idx, task)
+                elif round_no < policy.retries:
+                    still_failing.append(idx)
+                    emit_retry(idx, task)
                 else:
-                    value = _normalize(task.value)
-                    if cache:
-                        cache.put(sweep.name, key, params, value)
-                    outcome = PointOutcome(params, key, value, False, task.seconds)
-            result.outcomes.append(outcome)
-            if progress:
-                progress(
-                    Progress(
-                        sweep=sweep.name,
-                        index=idx,
-                        total=total,
-                        params=outcome.params,
-                        cached=outcome.cached,
-                        seconds=outcome.seconds,
-                        status=outcome.status,
-                    )
-                )
+                    fail(idx, task, attempts=round_no + 1)
+            pending = still_failing
     finally:
-        close = getattr(computed, "close", None)
-        if close is not None:
-            close()  # tear down a mid-sweep pool on error paths
+        _close(computed)  # tear down a mid-sweep pool on error paths
         if owned:
             exec_backend.close()
+    result.outcomes.extend(resolved)
     # Aggregates are positional, so they always see the full-length
     # values list — failed points (on_error="keep") appear as the
     # :data:`FAILED` sentinel in their slots rather than silently
@@ -380,7 +679,7 @@ def run_sweep(
     values = [
         o.value if o.status == "ok" else FAILED for o in result.outcomes
     ]
-    if result.errors == 0:
+    if result.errors == 0 and result.quarantined == 0:
         result.rows = sweep.rows(values)
     else:
         try:
@@ -400,13 +699,16 @@ def run_campaign(
     backend: ExecutionBackend | str | None = None,
     resume: bool = False,
     on_error: str = "raise",
+    retry: RetryPolicy | None = None,
+    retry_quarantined: bool = False,
 ) -> CampaignResult:
     """Run every sweep of ``campaign`` in order; see :func:`run_sweep`.
 
     The backend is resolved **once** for the whole campaign, so a
     ``"persistent"`` spec keeps its warm workers (and their in-process
     memo caches) alive from sweep to sweep — the scenario that backend
-    exists for.
+    exists for.  The retry policy (and its circuit breaker budget)
+    applies per sweep.
     """
     exec_backend, owned = resolve_backend(backend, jobs)
     result = CampaignResult(name=campaign.name)
@@ -416,6 +718,7 @@ def run_campaign(
                 run_sweep(
                     sweep, jobs, cache, progress, code,
                     backend=exec_backend, resume=resume, on_error=on_error,
+                    retry=retry, retry_quarantined=retry_quarantined,
                 )
             )
     finally:

@@ -19,7 +19,17 @@ Each family is parameterised by a ``severity`` knob in ``[0, 1]``:
   :data:`~repro.scenarios.model.DROPOUT_FACTOR` form is available
   through the :class:`Scenario` API directly;
 * ``congestion`` — bursts of background traffic hold the master's port;
-* ``brownout`` — the shared link loses bandwidth mid-run and recovers.
+* ``brownout`` — the shared link loses bandwidth mid-run and recovers;
+* ``randomwalk`` — every worker's ``c``/``w`` follow a seeded bounded
+  multiplicative random walk, re-pinned at regular instants: lognormal
+  steps of width ∝ severity clamped into ``[1, 1 + 9·severity]``, so
+  rates wander adversely but never diverge — the stochastic
+  rate-process family (each engine sees the identical piecewise-
+  constant realisation, so cross-engine parity is preserved);
+* ``multidrop`` — a *correlated* dropout cascade: a contiguous block
+  of workers degrades around one common onset with small seeded
+  per-worker lags, modelling a rack/switch failure rather than the
+  single-family ``dropout``'s independent victims.
 
 Times are expressed as fractions of a caller-provided ``horizon``
 (typically the stationary makespan of the same run), so one severity
@@ -42,13 +52,22 @@ __all__ = [
     "scenario_spec",
 ]
 
-#: The preset families, in reporting order.
-SCENARIO_KINDS = ("stationary", "drift", "dropout", "congestion", "brownout")
+#: The preset families, in reporting order.  New kinds must be
+#: **appended**: the per-kind rng stream is seeded by list position, so
+#: reordering would silently reshuffle every existing family's draws.
+SCENARIO_KINDS = (
+    "stationary", "drift", "dropout", "congestion", "brownout",
+    "randomwalk", "multidrop",
+)
 
 #: Rate re-draw instants of the ``drift`` family, as horizon fractions.
 _DRIFT_STEPS = (0.25, 0.5, 0.75)
 #: Upper bound of the ``dropout`` family's slowdown factor.
 _DROPOUT_MAX_FACTOR = 50.0
+#: Re-pin instants of the ``randomwalk`` family (count, not positions).
+_WALK_STEPS = 8
+#: Upper bound of the ``multidrop`` family's slowdown factor.
+_MULTIDROP_MAX_FACTOR = 25.0
 
 
 def scenario_spec(
@@ -117,6 +136,44 @@ def build_scenario(
         factor = 1.0 + (_DROPOUT_MAX_FACTOR - 1.0) * severity
         for widx in range(1, count + 1):
             scenario = scenario.with_slowdown(widx, onset, factor)
+        return scenario
+
+    if kind == "randomwalk":
+        # A bounded adverse rate process: each worker's c and w follow
+        # independent multiplicative lognormal walks, re-pinned at
+        # regular instants with absolute with_rates() semantics, so all
+        # engines replay the identical piecewise-constant realisation.
+        # The floor at 1 keeps the family adverse (lucky speed-ups
+        # would mask degradation); the severity-scaled ceiling keeps
+        # degradation ratios finite and comparable.
+        sigma = 0.3 * severity
+        ceiling = 1.0 + 9.0 * severity
+        for widx in range(1, platform.p + 1):
+            c_level = w_level = 1.0
+            for step in range(1, _WALK_STEPS + 1):
+                c_level = min(max(c_level * float(np.exp(rng.normal(0.0, sigma))), 1.0), ceiling)
+                w_level = min(max(w_level * float(np.exp(rng.normal(0.0, sigma))), 1.0), ceiling)
+                scenario = scenario.with_rates(
+                    widx,
+                    step / (_WALK_STEPS + 1) * horizon,
+                    c_factor=c_level,
+                    w_factor=w_level,
+                )
+        return scenario
+
+    if kind == "multidrop":
+        # A correlated cascade — one rack/switch event, not independent
+        # victims: a contiguous block of enrolled workers (cf. the
+        # dropout comment above) degrades around a common onset, each
+        # victim lagging the event by a small seeded delay.
+        count = min(platform.p, 2 + round(severity * (platform.p - 2) / 2))
+        onset = (0.8 - 0.5 * severity) * horizon
+        factor = 1.0 + (_MULTIDROP_MAX_FACTOR - 1.0) * severity
+        lags = rng.uniform(0.0, 0.06 * horizon, size=count)
+        for widx in range(1, count + 1):
+            scenario = scenario.with_slowdown(
+                widx, onset + float(lags[widx - 1]), factor
+            )
         return scenario
 
     if kind == "congestion":

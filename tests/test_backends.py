@@ -229,10 +229,12 @@ class TestErrorIsolation:
         backend = PersistentBackend(jobs=2)
         try:
             run_sweep(_sweep(n=8), backend=backend)
-            pool = backend._pool
-            assert pool is not None
+            workers = list(backend._workers)
+            assert workers and backend._pool is not None
             run_sweep(_sweep(n=8), backend=backend)
-            assert backend._pool is pool  # same pool, still warm
+            # same worker processes, still warm — no respawn happened
+            assert list(backend._workers) == workers
+            assert backend.respawns == 0
         finally:
             backend.close()
 

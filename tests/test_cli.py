@@ -230,3 +230,113 @@ class TestKeepGoing:
         argv = ["sweep", "bounds", "--cache-dir", str(tmp_path), "--quiet"]
         assert cli_main(argv) == 1
         assert "sweep failed" in capsys.readouterr().err
+
+    def test_keep_going_summary_lists_failing_params(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import repro.experiments.bounds as bounds
+
+        real_point = bounds._point
+
+        def flaky(params):
+            if params["m"] == bounds.DEFAULT_MEMORIES[1]:
+                raise RuntimeError("injected failure")
+            return real_point(params)
+
+        monkeypatch.setattr(bounds, "_point", flaky)
+        argv = [
+            "sweep", "bounds", "--cache-dir", str(tmp_path), "--quiet",
+            "--keep-going",
+        ]
+        assert cli_main(argv) == 1
+        err = capsys.readouterr().err
+        assert "did not produce results" in err
+        assert f"'m': {bounds.DEFAULT_MEMORIES[1]}" in err
+        assert "injected failure" in err
+
+
+class TestFaultToleranceFlags:
+    """--retries/--timeout/--max-failures/--chaos/--retry-quarantined."""
+
+    def test_bad_chaos_spec_is_two(self, tmp_path, capsys):
+        assert cli_main(_sweep_argv(tmp_path, "--chaos", "bogus=1")) == 2
+        assert "bad --chaos" in capsys.readouterr().out
+
+    def test_bad_retries_is_two(self, tmp_path, capsys):
+        assert cli_main(_sweep_argv(tmp_path, "--retries", "-1")) == 2
+        assert "bad arguments" in capsys.readouterr().out
+
+    def test_retry_quarantined_requires_resume(self, tmp_path, capsys):
+        assert cli_main(_sweep_argv(tmp_path, "--retry-quarantined")) == 2
+        assert "--retry-quarantined" in capsys.readouterr().out
+
+    def test_transient_chaos_with_retries_matches_clean_run(
+        self, tmp_path, capsys
+    ):
+        """Acceptance: seeded transient chaos plus retries produces the
+        clean run's table, cache keys, and exit code."""
+        clean_dir, chaos_dir = tmp_path / "clean", tmp_path / "chaos"
+        argv = ["sweep", "bounds", "--quiet"]
+        assert cli_main([*argv, "--cache-dir", str(clean_dir)]) == 0
+        clean_out = capsys.readouterr().out
+        assert cli_main(
+            [*argv, "--cache-dir", str(chaos_dir),
+             "--chaos", "fail=0.4,seed=5", "--retries", "2"]
+        ) == 0
+        chaos_out = capsys.readouterr().out
+        strip = lambda out: [  # noqa: E731
+            line for line in out.splitlines() if " in " not in line
+        ]
+        assert strip(chaos_out) == strip(clean_out)
+        assert sorted(ResultCache(clean_dir).manifest("bounds")) == sorted(
+            ResultCache(chaos_dir).manifest("bounds")
+        )
+
+    def test_permanent_chaos_trips_breaker_then_resume_skips(
+        self, tmp_path, capsys
+    ):
+        """Acceptance: a permanent profile trips the breaker with the
+        structured report and quarantines; --resume then skips the
+        quarantined points (exit 1 both times, the run is incomplete)."""
+        argv = [
+            "sweep", "bounds", "--cache-dir", str(tmp_path), "--quiet",
+            "--chaos", "fail=0.4,seed=5,sticky=permanent",
+            "--retries", "1", "--max-failures", "1",
+        ]
+        assert cli_main(argv) == 1
+        err = capsys.readouterr().err
+        assert "circuit breaker opened" in err and "attempts=2" in err
+        quarantined = ResultCache(tmp_path).quarantined("bounds")
+        assert len(quarantined) == 1
+
+        assert cli_main(
+            ["cache", "info", "--cache-dir", str(tmp_path)]
+        ) == 0
+        assert "quarantined: 1 known-permanent" in capsys.readouterr().out
+
+        resume_argv = [
+            "sweep", "bounds", "--cache-dir", str(tmp_path), "--quiet",
+            "--resume", "--keep-going",
+        ]
+        assert cli_main(resume_argv) == 1
+        captured = capsys.readouterr()
+        assert "(1 quarantined, skipped)" in captured.out
+        assert "did not produce results" in captured.err
+
+        # --retry-quarantined without chaos computes the point and clears
+        assert cli_main([*resume_argv, "--retry-quarantined"]) == 0
+        capsys.readouterr()
+        assert ResultCache(tmp_path).quarantined("bounds") == {}
+
+    def test_progress_shows_retry_and_failure_counts(
+        self, tmp_path, capsys
+    ):
+        argv = [
+            "sweep", "bounds", "--cache-dir", str(tmp_path),
+            "--chaos", "fail=0.4,seed=5,sticky=permanent",
+            "--retries", "1", "--keep-going",
+        ]
+        assert cli_main(argv) == 1
+        err = capsys.readouterr().err
+        assert "RETRYING" in err
+        assert "FAILED" in err and "failed, 0 quarantined]" in err

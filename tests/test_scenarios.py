@@ -202,6 +202,107 @@ class TestPresets:
         brownout = build_scenario(platform, scenario_spec("brownout", 1.0, horizon))
         assert any(len(tl.times) == 3 for tl in brownout.c_factors)
 
+    def test_randomwalk_is_adverse_and_bounded(self, platform):
+        for severity in (0.25, 0.5, 1.0):
+            walk = build_scenario(
+                platform, scenario_spec("randomwalk", severity, 40.0, seed=3)
+            )
+            assert walk.has_rate_variation and not walk.background
+            ceiling = 1.0 + 9.0 * severity
+            for tl in (*walk.c_factors, *walk.w_factors):
+                assert all(1.0 <= v <= ceiling for v in tl.values)
+            # every worker's rates are re-pinned over the horizon
+            assert all(len(tl.times) > 1 for tl in walk.c_factors)
+
+    def test_randomwalk_severity_widens_the_walk(self, platform):
+        spread = {}
+        for severity in (0.25, 1.0):
+            walk = build_scenario(
+                platform, scenario_spec("randomwalk", severity, 40.0, seed=3)
+            )
+            spread[severity] = max(
+                v for tl in walk.c_factors for v in tl.values
+            )
+        assert spread[1.0] > spread[0.25]
+
+    def test_multidrop_is_a_correlated_cascade(self, platform):
+        multi = build_scenario(
+            platform, scenario_spec("multidrop", 1.0, 40.0, seed=3)
+        )
+        assert multi.has_rate_variation and not multi.background
+        # a contiguous victim block starting at worker 1, others untouched
+        degraded = [
+            i for i, tl in enumerate(multi.c_factors) if not tl.is_identity
+        ]
+        assert degraded == list(range(len(degraded)))
+        assert len(degraded) >= 2  # multi-worker by construction
+        # correlated onsets: all victims drop within the small lag window
+        onsets = [multi.c_factors[i].times[-1] for i in degraded]
+        assert max(onsets) - min(onsets) <= 0.06 * 40.0
+        # bounded factors keep degradation ratios finite
+        assert all(
+            v <= 25.0 for i in degraded for v in multi.c_factors[i].values
+        )
+
+    @pytest.mark.parametrize("kind", ["randomwalk", "multidrop"])
+    def test_new_kinds_fast_des_parity(self, kind):
+        """The new families ride the shared StepTimeline tables, so the
+        fast engine must replay the DES oracle byte-for-byte."""
+        from repro.analysis.metrics import summarize_trace
+        from repro.engine import run_scheduler
+        from repro.platform.named import ut_cluster_platform
+        from repro.schedulers import section8_scheduler
+        from repro.workloads import ProblemShape
+
+        platform = ut_cluster_platform(p=8, memory_mb=512.0, q=80)
+        shape = ProblemShape(r=6, s=6, t=50, q=80)
+        spec = scenario_spec(kind, 1.0, horizon=3.3, seed=3)
+        makespans = {}
+        for engine in ("fast", "des"):
+            trace = run_scheduler(
+                section8_scheduler("DDOML"),
+                build_scenario(platform, spec),
+                shape,
+                engine=engine,
+            )
+            makespans[engine] = summarize_trace(trace).makespan
+        assert makespans["fast"] == makespans["des"]
+        # and the family actually disturbs the run
+        stationary = run_scheduler(
+            section8_scheduler("DDOML"), platform, shape, engine="fast"
+        )
+        assert makespans["fast"] > summarize_trace(stationary).makespan
+
+    def test_new_kinds_model_envelope(self):
+        """Loose envelope: the analytic model tracks the fast engine on
+        the new families (demand-driven tolerance, cf.
+        tests/test_model_envelope.py)."""
+        from repro.analysis.metrics import summarize_trace
+        from repro.engine import run_scheduler
+        from repro.platform.named import ut_cluster_platform
+        from repro.schedulers import section8_scheduler
+        from repro.workloads import ProblemShape
+
+        platform = ut_cluster_platform(p=8, memory_mb=512.0, q=80)
+        shape = ProblemShape(r=6, s=6, t=50, q=80)
+        for kind in ("randomwalk", "multidrop"):
+            spec = scenario_spec(kind, 0.5, horizon=3.3, seed=3)
+            oracle = summarize_trace(
+                run_scheduler(
+                    section8_scheduler("DDOML"),
+                    build_scenario(platform, spec),
+                    shape,
+                    engine="fast",
+                )
+            ).makespan
+            estimate = run_scheduler(
+                section8_scheduler("DDOML"),
+                build_scenario(platform, spec),
+                shape,
+                engine="model",
+            ).makespan
+            assert abs(estimate - oracle) / oracle <= 0.40, kind
+
     def test_bad_horizon_rejected(self, platform):
         with pytest.raises(ValueError, match="horizon"):
             build_scenario(
