@@ -1,0 +1,166 @@
+"""Remote-dispatch overhead — ``repro serve`` vs an in-process pool.
+
+The ``remote`` backend trades one length-prefixed JSON round-trip per
+point (plus daemon-side scheduling) for a pool that is *already warm*
+when the client starts.  This module measures what that transport
+costs once both sides are warm, on the same 6-sweep × 32-point
+micro-point campaign as ``bench_runner.py``.
+
+``test_remote_overhead_within_budget`` is the acceptance gate: a warm
+remote campaign must stay within **2×** of the warm in-process
+persistent backend — the dispatch tax of the daemon hop, not a change
+in asymptotics.  Identical result rows are asserted along the way.
+
+Run with ``pytest benchmarks/bench_serve.py -s`` for the numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.runner import Campaign, Sweep, create_backend, run_campaign
+from repro.runner.backends.remote import RemoteBackend
+from repro.service.client import DaemonUnreachable, ServeClient
+
+N_SWEEPS = 6
+N_POINTS = 32
+JOBS = 2
+
+REPO = Path(__file__).resolve().parent.parent
+#: The daemon must import this module to resolve the point-function
+#: token, so its PYTHONPATH carries the benchmarks directory too.
+DAEMON_PYTHONPATH = os.pathsep.join(
+    [str(REPO / "src"), str(Path(__file__).resolve().parent)]
+)
+
+
+def _micro_point(params: dict) -> dict:
+    x = params["x"]
+    acc = 0.0
+    for i in range(1, 200):
+        acc += (x * i) % 7 / i
+    return {"x": x, "acc": acc}
+
+
+def _campaign() -> Campaign:
+    return Campaign(
+        "bench-serve",
+        tuple(
+            Sweep(
+                name=f"bench-serve-{s}",
+                run_fn=_micro_point,
+                points=tuple({"s": s, "x": x} for x in range(N_POINTS)),
+            )
+            for s in range(N_SWEEPS)
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def daemon_socket():
+    """A warm ``repro serve`` daemon on a short-path unix socket."""
+    # mkdtemp under /tmp keeps the socket path well under the ~108-char
+    # AF_UNIX limit regardless of where pytest's tmp roots live.
+    workdir = tempfile.mkdtemp(dir="/tmp", prefix="repro-bench-serve-")
+    socket_path = os.path.join(workdir, "s.sock")
+    env = {**os.environ, "PYTHONPATH": DAEMON_PYTHONPATH}
+    env.pop("REPRO_CACHE_DIR", None)
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--socket", socket_path, "--jobs", str(JOBS),
+            "--cache-dir", os.path.join(workdir, "cache"), "--quiet",
+        ],
+        env=env,
+    )
+    deadline = time.monotonic() + 20.0
+    while True:
+        try:
+            client = ServeClient(socket_path, connect_retries=1)
+            client.connect()
+            client.close()
+            break
+        except DaemonUnreachable:
+            if time.monotonic() > deadline:
+                proc.kill()
+                raise RuntimeError("serve daemon never came up")
+            time.sleep(0.1)
+    try:
+        yield socket_path
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _measure(daemon_socket):
+    """Best-of-3 warm campaign per side; returns seconds + results."""
+    campaign = _campaign()
+    rounds = 3
+    warmup = Campaign(
+        "warmup",
+        (Sweep(name="warmup", run_fn=_micro_point,
+               points=({"s": -1, "x": 0},)),),
+    )
+
+    persistent_s = float("inf")
+    with create_backend("persistent", jobs=JOBS) as backend:
+        run_campaign(warmup, jobs=JOBS, backend=backend)
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            persistent_r = run_campaign(campaign, jobs=JOBS, backend=backend)
+            persistent_s = min(persistent_s, time.perf_counter() - t0)
+
+    remote_s = float("inf")
+    with RemoteBackend(jobs=JOBS, socket_path=daemon_socket) as backend:
+        run_campaign(warmup, jobs=JOBS, backend=backend)
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            remote_r = run_campaign(campaign, jobs=JOBS, backend=backend)
+            remote_s = min(remote_s, time.perf_counter() - t0)
+
+    return persistent_s, remote_s, persistent_r, remote_r
+
+
+def test_remote_overhead_within_budget(daemon_socket):
+    """Acceptance gate: the daemon hop costs ≤ 2× warm in-process
+    dispatch on the warm micro-point campaign.
+
+    Retries up to three attempts for the same noisy-runner reasons as
+    the bench_runner gates: a descheduled daemon thread can lose one
+    tens-of-milliseconds measurement, a real regression loses them all.
+    """
+    budget = 2.0
+    attempts = []
+    for _ in range(3):
+        persistent_s, remote_s, persistent_r, remote_r = _measure(
+            daemon_socket
+        )
+        assert remote_r.tables == persistent_r.tables
+        assert remote_r.errors == 0
+        attempts.append((persistent_s, remote_s))
+        print(
+            f"\nwarm campaign ({N_SWEEPS} sweeps x {N_POINTS} points, "
+            f"jobs={JOBS}): persistent {persistent_s * 1e3:.1f} ms, "
+            f"remote {remote_s * 1e3:.1f} ms "
+            f"({remote_s / persistent_s:.2f}x)"
+        )
+        if remote_s <= persistent_s * budget:
+            return
+    raise AssertionError(
+        "remote dispatch exceeded its 2x warm-overhead budget on every "
+        "attempt: "
+        + ", ".join(f"{p * 1e3:.1f}ms vs {r * 1e3:.1f}ms" for p, r in attempts)
+    )

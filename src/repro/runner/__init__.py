@@ -20,6 +20,7 @@ injector.  See ``docs/runner.md`` for the architecture.
 
 from repro.runner.backends import (
     BACKENDS,
+    CacheContext,
     ChaosBackend,
     ChaosFault,
     ChaosSpec,
@@ -27,6 +28,7 @@ from repro.runner.backends import (
     PersistentBackend,
     PointTimeout,
     ProcessBackend,
+    RemoteBackend,
     SerialBackend,
     TaskResult,
     create_backend,
@@ -66,6 +68,7 @@ from repro.runner.sweep import (
 
 __all__ = [
     "BACKENDS",
+    "CacheContext",
     "CacheStats",
     "Campaign",
     "CampaignResult",
@@ -83,6 +86,7 @@ __all__ = [
     "PrescreenUnsupported",
     "ProcessBackend",
     "Progress",
+    "RemoteBackend",
     "ResultCache",
     "RetryPolicy",
     "ScoredPoint",

@@ -8,6 +8,8 @@ Importing this package registers the built-in backends:
 ``persistent`` warm self-healing workers reused across sweeps,
                batched dispatch, crash recovery
 ``chaos``      deterministic fault injection around any of the above
+``remote``     dispatch through a ``repro serve`` daemon's warm pool
+               over a local socket (leases, reconnect, resume tokens)
 ========== ==========================================================
 
 See :mod:`repro.runner.backends.base` for the contract and
@@ -18,6 +20,7 @@ profiles).
 
 from repro.runner.backends.base import (
     BACKENDS,
+    CacheContext,
     ExecutionBackend,
     PointTimeout,
     TaskResult,
@@ -27,10 +30,12 @@ from repro.runner.backends.base import (
 from repro.runner.backends.chaos import ChaosBackend, ChaosFault, ChaosSpec
 from repro.runner.backends.persistent import PersistentBackend
 from repro.runner.backends.process import ProcessBackend, parallel_map
+from repro.runner.backends.remote import RemoteBackend
 from repro.runner.backends.serial import SerialBackend
 
 __all__ = [
     "BACKENDS",
+    "CacheContext",
     "ChaosBackend",
     "ChaosFault",
     "ChaosSpec",
@@ -38,6 +43,7 @@ __all__ = [
     "PersistentBackend",
     "PointTimeout",
     "ProcessBackend",
+    "RemoteBackend",
     "SerialBackend",
     "TaskResult",
     "create_backend",

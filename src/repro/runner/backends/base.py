@@ -45,6 +45,7 @@ from typing import (
 
 __all__ = [
     "BACKENDS",
+    "CacheContext",
     "ExecutionBackend",
     "PointTimeout",
     "TaskResult",
@@ -53,6 +54,31 @@ __all__ = [
 ]
 
 PointFn = Callable[[Mapping[str, Any]], Any]
+
+
+@dataclass(frozen=True)
+class CacheContext:
+    """Where a ``map`` call's results would be cached, for backends that
+    can use it.
+
+    The sweep orchestrator normally owns all cache traffic; a
+    *distributed* backend (the ``remote`` backend and the ``repro
+    serve`` daemon behind it) wants the addressing too, so the daemon
+    can serve already-cached points without recomputing them and can
+    journal freshly computed ones into the shared store the moment they
+    finish — which is what bounds a daemon crash to the in-flight
+    batches.  Backends opt in by setting ``supports_context = True``;
+    everyone else keeps receiving the historic call signature, so the
+    fault-tolerance layer's byte-invisibility guarantee is untouched.
+
+    ``keys`` is aligned with the ``items`` of the same ``map`` call
+    (one :func:`repro.runner.hashing.point_key` digest per item).
+    """
+
+    sweep: str
+    root: str
+    code: Optional[str]
+    keys: Tuple[str, ...]
 
 
 class PointTimeout(Exception):
@@ -121,14 +147,6 @@ def _alarm_handler(signum, frame):  # pragma: no cover - trivial
     raise PointTimeout("point exceeded its wall-clock timeout")
 
 
-#: Whether this process already routes ``SIGALRM`` to ``_alarm_handler``.
-#: A flag instead of ``signal.getsignal`` because the guard runs per
-#: point and even ``getsignal`` costs ~3 µs; nothing else in a worker
-#: process touches ``SIGALRM``, and ``fork`` inherits flag and handler
-#: together, so the flag cannot go stale.
-_ALARM_INSTALLED = False
-
-
 def run_one(
     fn: PointFn, params: Mapping[str, Any], timeout: Optional[float] = None
 ) -> TaskResult:
@@ -147,23 +165,33 @@ def run_one(
     is only effective in a process's main thread on platforms with
     ``setitimer`` (everywhere this repository targets).
 
-    The handler install is the expensive half of the guard (~9 µs vs
-    ~0.7 µs for the itimer syscalls), so it sticks: once installed it
-    stays for the process's lifetime — always with the timer disarmed
-    between points — and later guarded points pay only the two
-    ``setitimer`` calls.  That keeps the guard inside the retry layer's
-    <5 % dispatch-overhead budget on batches of cheap points.
+    The guard is a save/restore bracket around ``SIGALRM``: a handler
+    someone else installed before this call is put back afterwards, and
+    a pending alarm they had armed is re-armed with whatever time it had
+    left (floored at a tick so an alarm that would have fired during the
+    point still fires promptly).  A point function is therefore free to
+    run its own ``signal.alarm`` brackets — the guard re-checks the
+    installed handler per point instead of trusting a sticky install —
+    with the one unavoidable caveat that the user's alarm and the guard
+    share the single ``ITIMER_REAL`` timer, so whichever was armed last
+    wins for the remainder of that point.  The common case (consecutive
+    guarded points, nothing else touching ``SIGALRM``) pays one
+    ``getsignal`` and two ``setitimer`` calls, staying inside the retry
+    layer's <5 % dispatch-overhead budget on batches of cheap points.
     """
-    global _ALARM_INSTALLED
     start = time.perf_counter()
     armed = False
+    displaced_handler: Any = None
+    restore_handler = False
+    remaining = 0.0
     try:
         if timeout is not None and hasattr(signal, "setitimer"):
             try:
-                if not _ALARM_INSTALLED:
+                displaced_handler = signal.getsignal(signal.SIGALRM)
+                if displaced_handler is not _alarm_handler:
                     signal.signal(signal.SIGALRM, _alarm_handler)
-                    _ALARM_INSTALLED = True
-                signal.setitimer(signal.ITIMER_REAL, timeout)
+                    restore_handler = True
+                remaining = signal.setitimer(signal.ITIMER_REAL, timeout)[0]
                 armed = True
             except ValueError:
                 pass  # not the main thread: run unguarded
@@ -172,6 +200,13 @@ def run_one(
         finally:
             if armed:
                 signal.setitimer(signal.ITIMER_REAL, 0.0)
+                if restore_handler:
+                    signal.signal(signal.SIGALRM, displaced_handler)
+                if remaining > 0.0:
+                    elapsed = time.perf_counter() - start
+                    signal.setitimer(
+                        signal.ITIMER_REAL, max(remaining - elapsed, 1e-4)
+                    )
     except Exception as exc:  # isolate the point, keep the sweep alive
         if isinstance(exc, PointTimeout):
             error = (

@@ -54,7 +54,14 @@ from repro.runner.backends.base import (
 )
 from repro.runner.hashing import canonical_params
 
-__all__ = ["ChaosBackend", "ChaosFault", "ChaosSpec", "chaos_wrap"]
+__all__ = [
+    "ChaosBackend",
+    "ChaosFault",
+    "ChaosSpec",
+    "chaos_wrap",
+    "decide",
+    "decide_connection",
+]
 
 #: PID of the process that imported this module first (the orchestrator
 #: under ``fork``).  Crash injection must never SIGKILL it.
@@ -77,12 +84,14 @@ class ChaosSpec:
     fail: float = 0.0    #: transient-exception probability
     hang: float = 0.0    #: hang (sleep) probability
     crash: float = 0.0   #: worker SIGKILL probability
+    drop: float = 0.0    #: connection-drop probability (remote backend)
+    dkill: float = 0.0   #: daemon SIGKILL probability (remote backend)
     hang_s: float = 0.5  #: injected hang duration, seconds
     seed: int = 0        #: decision seed
     sticky: int = 1      #: attempts a fault persists; -1 = permanent
 
     def __post_init__(self) -> None:
-        for channel in ("fail", "hang", "crash"):
+        for channel in ("fail", "hang", "crash", "drop", "dkill"):
             rate = getattr(self, channel)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"chaos {channel} rate must be in [0, 1], got {rate}")
@@ -96,7 +105,19 @@ class ChaosSpec:
 
     @property
     def active(self) -> bool:
+        return self.point_active or self.connection_active
+
+    @property
+    def point_active(self) -> bool:
+        """Any in-worker fault channel armed (fail/hang/crash)."""
         return (self.fail or self.hang or self.crash) != 0.0
+
+    @property
+    def connection_active(self) -> bool:
+        """Any transport fault channel armed (drop/dkill) — only
+        meaningful over a backend with ``supports_connection_chaos``
+        (the ``remote`` backend); ignored elsewhere."""
+        return (self.drop or self.dkill) != 0.0
 
     @staticmethod
     def parse(arg: str) -> "ChaosSpec":
@@ -150,6 +171,28 @@ def decide(
         return None
     params_json = canonical_params(params)
     for channel in ("crash", "hang", "fail"):  # most severe first
+        if _fraction(spec.seed, params_json, channel) < getattr(spec, channel):
+            return channel
+    return None
+
+
+def decide_connection(
+    spec: ChaosSpec, params: Mapping[str, Any], attempt: int = 0
+) -> Optional[str]:
+    """The transport fault injected after ``params`` resolves, if any.
+
+    Same determinism contract as :func:`decide` — a pure function of
+    ``(seed, canonical params, channel)``, with ``sticky`` deciding
+    whether it still fires at this attempt — over the connection
+    channels: ``dkill`` (SIGKILL the daemon) beats ``drop`` (sever the
+    client socket).
+    """
+    if not spec.connection_active:
+        return None
+    if not (spec.sticky < 0 or attempt < spec.sticky):
+        return None
+    params_json = canonical_params(params)
+    for channel in ("dkill", "drop"):  # most severe first
         if _fraction(spec.seed, params_json, channel) < getattr(spec, channel):
             return channel
     return None
@@ -237,6 +280,11 @@ class ChaosBackend:
         self.spec = spec or ChaosSpec()
         self.jobs = getattr(inner, "jobs", jobs)
 
+    @property
+    def supports_context(self) -> bool:
+        """Pass-through: cache addressing reaches a remote inner."""
+        return bool(getattr(self.inner, "supports_context", False))
+
     def map(
         self,
         fn: PointFn,
@@ -244,9 +292,30 @@ class ChaosBackend:
         *,
         timeout: Optional[float] = None,
         attempt: int = 0,
+        context=None,
     ) -> Iterator[TaskResult]:
-        if not self.spec.active:
-            yield from self.inner.map(fn, items, timeout=timeout, attempt=attempt)
+        extra: dict[str, Any] = {}
+        if context is not None and self.supports_context:
+            extra["context"] = context
+        # Transport faults: one injection per faulty item index, fired
+        # by the inner backend after that item's result arrives.
+        faults: dict[int, str] = {}
+        if self.spec.connection_active and getattr(
+            self.inner, "supports_connection_chaos", False
+        ):
+            for idx, params in enumerate(items):
+                channel = decide_connection(self.spec, params, attempt)
+                if channel is not None:
+                    faults[idx] = channel
+        if faults:
+            extra["faults"] = faults
+        if not self.spec.point_active:
+            if extra:
+                yield from self.inner.map(fn, items, timeout=timeout, **extra)
+            else:
+                yield from self.inner.map(
+                    fn, items, timeout=timeout, attempt=attempt
+                )
             return
         # Real kills only where the inner pool heals from worker death.
         kill = bool(
@@ -257,13 +326,21 @@ class ChaosBackend:
                 __name__, "chaos_wrap",
                 {"spec": asdict(self.spec), "attempt": attempt, "kill": kill},
             )
-            yield from self.inner.map(fn, items, timeout=timeout, wrap=wrap)
+            yield from self.inner.map(
+                fn, items, timeout=timeout, wrap=wrap, **extra
+            )
         else:
             wrapped = _ChaosWrapped(fn, self.spec, attempt, kill)
             yield from self.inner.map(wrapped, items, timeout=timeout)
 
     def close(self) -> None:
         self.inner.close()
+
+    def terminate(self) -> None:
+        """Abort path: forward to the inner pool's immediate teardown
+        where it has one, else its ordinary close."""
+        terminate = getattr(self.inner, "terminate", None)
+        (terminate or self.inner.close)()
 
     def __enter__(self) -> "ChaosBackend":
         return self

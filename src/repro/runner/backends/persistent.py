@@ -43,6 +43,7 @@ baseline lookup) stay warm from sweep to sweep.
 from __future__ import annotations
 
 import importlib
+import os
 import queue as queue_mod
 from typing import (
     Any,
@@ -152,10 +153,23 @@ def _run_batch(
 
 
 def _worker_main(inq, outq, resolve_probe) -> None:
-    """Worker process loop: serve batches until the ``None`` sentinel."""
+    """Worker process loop: serve batches until the ``None`` sentinel.
+
+    The blocking ``get`` is bounded so the worker can notice it has
+    been orphaned: a parent that is SIGKILLed never sends the sentinel,
+    and a worker blocked forever on a dead queue leaks one process per
+    crash.  Reparenting (``getppid`` changes) is the exit signal.
+    """
     _init_worker(resolve_probe)
+    parent = os.getppid()
+    poll_s = float(os.environ.get("REPRO_WORKER_ORPHAN_POLL_S", "5.0"))
     while True:
-        task = inq.get()
+        try:
+            task = inq.get(timeout=poll_s)
+        except queue_mod.Empty:
+            if os.getppid() != parent:
+                break  # orphaned: the pool owner died without cleanup
+            continue
         if task is None:
             break
         gen, batch_id, token, batch, options = task
@@ -246,6 +260,15 @@ class PersistentBackend:
             self._workers.append(
                 _Worker(self._ctx, self._outq, self._resolve_probe)
             )
+
+    def warm(self) -> None:
+        """Spawn the pool now instead of lazily at the first ``map``.
+
+        The serve daemon calls this before starting any service thread,
+        so the ``fork`` happens while the process is still
+        single-threaded.
+        """
+        self._ensure_workers()
 
     def worker_pids(self) -> List[int]:
         """PIDs of the live workers (diagnostics and crash tests)."""

@@ -44,7 +44,14 @@ Robustness rules:
   (:meth:`ResultCache.rebuild_manifest`): the entry files are always
   the ground truth, the manifest only an index over them.  The manifest
   being advisory is also what makes it resume-safe: a stale listing is
-  re-validated by :meth:`get` before anything trusts it.
+  re-validated by :meth:`get` before anything trusts it;
+* a journal dominated by dead history (overwritten puts, ``del``
+  records, cleared quarantines) is **compacted** down to its fold —
+  explicitly via ``python -m repro cache compact``
+  (:meth:`ResultCache.compact`), or opportunistically whenever an
+  index read notices the imbalance.  Compaction writes the new journal
+  to a temp file and atomically renames it into place, so a crash
+  mid-compaction leaves the old journal intact, never a torn hybrid.
 """
 
 from __future__ import annotations
@@ -198,17 +205,20 @@ class ResultCache:
 
     def _read_manifest(
         self, sweep: str
-    ) -> Tuple[Dict[str, int], Dict[str, dict]] | None:
-        """Fold the journal into ``({key: bytes}, {key: quarantine})``,
-        or ``None`` when the manifest is absent or any line is
-        unparsable (torn concurrent write, manual edit) — the caller
-        rebuilds from entry files."""
+    ) -> Tuple[Dict[str, int], Dict[str, dict], int] | None:
+        """Fold the journal into ``({key: bytes}, {key: quarantine},
+        records)`` — ``records`` counting every journal line so callers
+        can spot a journal dominated by dead history — or ``None`` when
+        the manifest is absent or any line is unparsable (torn
+        concurrent write, manual edit) — the caller rebuilds from entry
+        files."""
         try:
             text = self.manifest_path(sweep).read_text()
         except OSError:
             return None
         live: Dict[str, int] = {}
         quar: Dict[str, dict] = {}
+        records = 0
         for line in text.splitlines():
             if not line.strip():
                 continue
@@ -217,6 +227,7 @@ class ResultCache:
                 op, key = record["op"], record["key"]
             except (ValueError, KeyError, TypeError):
                 return None
+            records += 1
             if op == "put":
                 live[key] = int(record.get("bytes", 0))
                 quar.pop(key, None)  # a success clears the quarantine
@@ -226,7 +237,7 @@ class ResultCache:
                 quar[key] = record
             else:
                 return None
-        return live, quar
+        return live, quar, records
 
     def rebuild_manifest(self, sweep: str) -> Dict[str, int]:
         """Re-derive the sweep's index from its entry files.
@@ -294,11 +305,78 @@ class ResultCache:
         return live
 
     def manifest(self, sweep: str) -> Dict[str, int]:
-        """The sweep's live index, ``{key: bytes}`` (healed if needed)."""
+        """The sweep's live index, ``{key: bytes}`` (healed if needed).
+
+        Opportunistically compacts a journal whose dead history (puts
+        overwritten, ``del`` records, cleared quarantines) outnumbers
+        its live entries, so a churned sweep's index read stays one
+        small file no matter how long its history grew.
+        """
         folded = self._read_manifest(sweep)
         if folded is None:
             return self.rebuild_manifest(sweep)
-        return folded[0]
+        live, quar, records = folded
+        if self._wants_compaction(live, quar, records):
+            self.compact(sweep)
+        return live
+
+    @staticmethod
+    def _wants_compaction(
+        live: Mapping[str, int], quar: Mapping[str, dict], records: int
+    ) -> bool:
+        """Whether a folded journal is worth rewriting: more dead
+        records than live ones, with a small floor so tiny sweeps never
+        churn."""
+        dead = records - len(live) - len(quar)
+        return dead > max(len(live) + len(quar), 4)
+
+    def compact(self, sweep: str) -> int:
+        """Rewrite the sweep's journal down to its fold; returns the
+        number of dead records dropped.
+
+        Crash-safe by construction: the compacted journal is written to
+        a temp file and atomically renamed over the old one, so a crash
+        at any instant leaves either the full history or the complete
+        fold — never a torn hybrid (the torn-compaction recovery
+        guarantee).  An append racing the rename loses at most its own
+        record, which the next ``put`` of that key — or a rebuild —
+        restores; entry files stay the ground truth throughout.  A
+        missing or torn journal is healed through
+        :meth:`rebuild_manifest` instead (already minimal).  Best-effort
+        on read-only caches: the journal is simply left as it was.
+        """
+        folded = self._read_manifest(sweep)
+        if folded is None:
+            self.rebuild_manifest(sweep)
+            return 0
+        live, quar, records = folded
+        dead = records - len(live) - len(quar)
+        if dead <= 0:
+            return 0
+        lines = "".join(
+            json.dumps({"op": "put", "key": key, "bytes": size},
+                       separators=(",", ":")) + "\n"
+            for key, size in sorted(live.items())
+        ) + "".join(
+            json.dumps(record, separators=(",", ":")) + "\n"
+            for _, record in sorted(quar.items())
+        )
+        target = self.root / sweep
+        try:
+            fd, tmp = tempfile.mkstemp(dir=target, suffix=".tmp")
+        except OSError:
+            return 0  # e.g. a read-only shared cache
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(lines)
+            os.replace(tmp, self.manifest_path(sweep))
+        except OSError:
+            Path(tmp).unlink(missing_ok=True)
+            return 0
+        except BaseException:
+            Path(tmp).unlink(missing_ok=True)
+            raise
+        return dead
 
     # -- quarantine -----------------------------------------------------
 
@@ -342,7 +420,12 @@ class ResultCache:
         if folded is None:
             self.rebuild_manifest(sweep)  # salvages quarantine lines
             folded = self._read_manifest(sweep)
-        return folded[1] if folded is not None else {}
+        if folded is None:
+            return {}
+        live, quar, records = folded
+        if self._wants_compaction(live, quar, records):
+            self.compact(sweep)
+        return quar
 
     def manifest_keys(self, sweep: str) -> Set[str]:
         """Keys the index lists for ``sweep`` — the resume fast path.
@@ -392,7 +475,9 @@ class ResultCache:
                     refolded = self._read_manifest(child.name)
                     quar = refolded[1] if refolded is not None else {}
                 else:
-                    live, quar = folded
+                    live, quar, records = folded
+                    if self._wants_compaction(live, quar, records):
+                        self.compact(child.name)
                 if not live and not quar:
                     continue
                 count += len(live)

@@ -30,7 +30,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.runner.backends import ExecutionBackend, resolve_backend
+from repro.runner.backends import CacheContext, ExecutionBackend, resolve_backend
 from repro.runner.cache import ResultCache
 from repro.runner.hashing import code_version, point_key
 
@@ -419,6 +419,7 @@ def _map(
     items: Sequence[Mapping[str, Any]],
     timeout: Optional[float],
     attempt: int,
+    context: Optional[CacheContext] = None,
 ):
     """Dispatch to the backend, invisibly when fault tolerance is off.
 
@@ -427,7 +428,18 @@ def _map(
     a failure-free default run issues exactly the historic backend
     calls (so third-party backends without the new keywords keep
     working, and nothing about dispatch order or results can shift).
+
+    ``context`` (cache addressing for the points being mapped) is only
+    ever non-``None`` for backends that declared ``supports_context``
+    — the ``remote`` backend, so the serve daemon can serve cache hits
+    and journal fresh results — and those calls carry the keyword
+    explicitly; every other backend keeps seeing the historic
+    signatures above.
     """
+    if context is not None:
+        return backend.map(
+            fn, items, timeout=timeout, attempt=attempt, context=context
+        )
     if timeout is None and attempt == 0:
         return backend.map(fn, items)
     return backend.map(fn, items, timeout=timeout, attempt=attempt)
@@ -622,8 +634,23 @@ def run_sweep(
                 )
             )
 
+    def _context(indices: Sequence[int]) -> Optional[CacheContext]:
+        """Cache addressing for a dispatch round, for backends that
+        asked for it (``supports_context``)."""
+        if cache is None or not getattr(exec_backend, "supports_context", False):
+            return None
+        return CacheContext(
+            sweep=sweep.name,
+            root=str(cache.root),
+            code=code,
+            keys=tuple(keys[i] for i in indices),
+        )
+
     miss_points = [sweep.points[i] for i in missing]
-    computed = _map(exec_backend, sweep.run_fn, miss_points, policy.timeout, 0)
+    computed = _map(
+        exec_backend, sweep.run_fn, miss_points, policy.timeout, 0,
+        _context(missing),
+    )
     try:
         pending: List[int] = []
         for idx in range(total):
@@ -652,6 +679,7 @@ def run_sweep(
                 [sweep.points[i] for i in pending],
                 policy.timeout,
                 round_no,
+                _context(pending),
             )
             still_failing: List[int] = []
             for idx in pending:

@@ -1,0 +1,44 @@
+"""The distributed sweep service: one warm daemon, many clients.
+
+``python -m repro serve`` runs a long-lived daemon (:mod:`~repro.
+service.daemon`) that owns one warm :class:`~repro.runner.backends.
+PersistentBackend` worker pool plus one :class:`~repro.runner.
+ResultCache`, and speaks a length-prefixed JSON protocol (:mod:`~repro.
+service.protocol`) over a local socket.  ``sweep --backend remote``
+routes through it via :class:`~repro.runner.backends.remote.
+RemoteBackend` / :class:`~repro.service.client.ServeClient`.
+
+Robustness is the design center — per-batch leases with progress
+heartbeats (:mod:`~repro.service.scheduler`), client reconnect with
+resume tokens replayed from per-session ring buffers (:mod:`~repro.
+service.session`), and an append-only journaled request log
+(:mod:`~repro.service.journal`) so a ``kill -9``'d daemon restarts
+knowing exactly what was in flight.  See ``docs/serve.md`` for the
+protocol frames, lease semantics, and the failure matrix.
+
+This ``__init__`` stays import-light on purpose: the execution-backend
+registry imports :mod:`repro.service.client` (via the ``remote``
+backend) on every ``repro.runner`` import, and must not drag the whole
+daemon — or the backends package again, circularly — with it.  Import
+:class:`ServeDaemon` from :mod:`repro.service.daemon` directly.
+"""
+
+from repro.service.client import (
+    DaemonUnreachable,
+    ServeAborted,
+    ServeClient,
+    ServeError,
+    default_socket_path,
+)
+from repro.service.protocol import FrameError, recv_frame, send_frame
+
+__all__ = [
+    "DaemonUnreachable",
+    "FrameError",
+    "ServeAborted",
+    "ServeClient",
+    "ServeError",
+    "default_socket_path",
+    "recv_frame",
+    "send_frame",
+]

@@ -1,0 +1,234 @@
+"""Client side of the sweep service protocol.
+
+:class:`ServeClient` is a thin, reconnecting wrapper over one unix-
+domain socket: connect (with retries), ``hello``, then either a
+request/response exchange (``ping``/``status``/``cancel``/
+``shutdown``) or the streaming pair — ``submit`` or ``attach`` followed
+by :meth:`events`.  The *policy* for surviving drops — when to
+re-attach with the resume token, when to fall back to resubmitting —
+lives in :class:`~repro.runner.backends.remote.RemoteBackend`, which
+composes these primitives; keeping the transport dumb keeps the state
+machine testable.
+
+``drop_connection`` exists for the chaos harness: it severs the socket
+abruptly, mid-stream, exactly like a network partition would, so the
+reconnect path is exercised by real torn reads rather than simulated
+flags.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import struct
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.service.protocol import FrameError, recv_frame, send_frame
+
+__all__ = [
+    "DaemonUnreachable",
+    "ServeAborted",
+    "ServeClient",
+    "ServeError",
+    "default_socket_path",
+]
+
+
+class ServeError(Exception):
+    """The daemon answered, but with a protocol-level failure."""
+
+
+class DaemonUnreachable(ServeError):
+    """No daemon answered on the socket within the retry budget."""
+
+
+class ServeAborted(ServeError):
+    """The daemon aborted the request (drain, cancel, or recovery)."""
+
+
+def default_socket_path() -> Path:
+    """``$REPRO_SERVE_SOCKET`` or ``<default cache dir>/serve.sock``.
+
+    Sharing the cache directory's default means a daemon and its
+    clients agree on both rendezvous point and result store unless
+    told otherwise.
+    """
+    env = os.environ.get("REPRO_SERVE_SOCKET")
+    if env:
+        return Path(env)
+    from repro.runner.cache import default_cache_dir
+
+    return default_cache_dir() / "serve.sock"
+
+
+class ServeClient:
+    """One connection's worth of protocol state."""
+
+    def __init__(
+        self,
+        socket_path: Optional[Path | str] = None,
+        connect_retries: int = 3,
+        retry_delay: float = 0.2,
+        hello_timeout: float = 5.0,
+    ) -> None:
+        self.socket_path = Path(socket_path or default_socket_path())
+        self.connect_retries = max(1, connect_retries)
+        self.retry_delay = retry_delay
+        #: Deadline on the connect+hello handshake.  A SIGKILLed daemon
+        #: can leave an orphaned pool worker holding the listener fd, so
+        #: ``connect`` *succeeds* against a socket nobody will ever
+        #: accept on; without a bound the client would hang forever in
+        #: the hello read instead of burning a retry and failing over.
+        self.hello_timeout = hello_timeout
+        self.daemon_pid: Optional[int] = None
+        self._sock: Optional[socket.socket] = None
+
+    # -- transport ------------------------------------------------------
+
+    def connect(self) -> Dict[str, Any]:
+        """Dial the daemon and ``hello``; returns the hello reply."""
+        self.close()
+        last_error: Optional[Exception] = None
+        for attempt in range(self.connect_retries):
+            if attempt:
+                time.sleep(self.retry_delay * attempt)
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                sock.settimeout(self.hello_timeout)
+                sock.connect(str(self.socket_path))
+                send_frame(sock, {"op": "hello"})
+                reply = recv_frame(sock)
+                if not reply or not reply.get("ok"):
+                    raise ServeError(f"bad hello reply: {reply!r}")
+                # Streaming reads block indefinitely by design: a point
+                # may compute for longer than any handshake bound.
+                sock.settimeout(None)
+            except (OSError, FrameError, ServeError) as exc:
+                sock.close()
+                last_error = exc
+                continue
+            self._sock = sock
+            self.daemon_pid = reply.get("pid")
+            return reply
+        raise DaemonUnreachable(
+            f"no sweep daemon on {self.socket_path} "
+            f"after {self.connect_retries} attempts: {last_error}"
+        )
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def drop_connection(self) -> None:
+        """Sever the socket abruptly (chaos: simulated partition)."""
+        if self._sock is not None:
+            try:
+                # SO_LINGER 0 → RST on close: the daemon sees a hard
+                # drop, not a polite shutdown.
+                self._sock.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+            except OSError:
+                pass
+        self.close()
+
+    def _require(self) -> socket.socket:
+        if self._sock is None:
+            raise ServeError("not connected")
+        return self._sock
+
+    # -- streaming pair -------------------------------------------------
+
+    def submit(
+        self,
+        sweep: str,
+        items: Sequence[Mapping[str, Any]],
+        keys: Optional[Sequence[str]],
+        fn: Tuple[str, str],
+        timeout: Optional[float] = None,
+        wrap: Optional[Sequence[Any]] = None,
+    ) -> Dict[str, Any]:
+        """Submit a campaign; returns the reply carrying the resume
+        token.  The connection then streams events."""
+        sock = self._require()
+        send_frame(sock, {
+            "op": "submit", "sweep": sweep, "items": list(items),
+            "keys": list(keys) if keys is not None else None,
+            "fn": list(fn), "timeout": timeout,
+            "wrap": list(wrap) if wrap is not None else None,
+        })
+        reply = recv_frame(sock)
+        if reply is None:
+            raise FrameError("connection closed before submit reply")
+        if not reply.get("ok"):
+            raise ServeError(f"submit rejected: {reply.get('error')}")
+        return reply
+
+    def attach(self, token: str, after: int) -> Dict[str, Any]:
+        """Re-attach to a session; the reply is followed by events with
+        ``seq > after``.  Raises :class:`ServeError` with message
+        ``unknown-token`` when the daemon does not know the session
+        (reaped, or a restarted daemon)."""
+        sock = self._require()
+        send_frame(sock, {"op": "attach", "token": token, "after": after})
+        reply = recv_frame(sock)
+        if reply is None:
+            raise FrameError("connection closed before attach reply")
+        if not reply.get("ok"):
+            raise ServeError(str(reply.get("error") or "attach rejected"))
+        return reply
+
+    def events(self) -> Iterator[Dict[str, Any]]:
+        """Stream event frames until the terminal one.
+
+        Yields every frame, including the terminal ``done``/``abort``/
+        ``gap``; raises :class:`FrameError`/``OSError`` when the
+        connection drops mid-stream (the caller decides whether to
+        re-attach).
+        """
+        sock = self._require()
+        while True:
+            frame = recv_frame(sock)
+            if frame is None:
+                raise FrameError("stream closed before terminal event")
+            yield frame
+            if frame.get("event") in ("done", "abort", "gap"):
+                return
+
+    # -- one-shot requests ---------------------------------------------
+
+    def request(self, message: Mapping[str, Any]) -> Dict[str, Any]:
+        """Connect, send one op, return its reply, close."""
+        self.connect()
+        try:
+            sock = self._require()
+            send_frame(sock, dict(message))
+            reply = recv_frame(sock)
+            if reply is None:
+                raise ServeError(f"no reply to {message.get('op')!r}")
+            return reply
+        finally:
+            self.close()
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def status(self) -> Dict[str, Any]:
+        return self.request({"op": "status"})
+
+    def cancel(self, token: str) -> Dict[str, Any]:
+        return self.request({"op": "cancel", "token": token})
+
+    def shutdown(self, drain: bool = True) -> Dict[str, Any]:
+        return self.request({"op": "shutdown", "drain": drain})

@@ -1,0 +1,401 @@
+"""The ``repro serve`` daemon: one warm pool, many clients.
+
+A :class:`ServeDaemon` owns exactly one warm :class:`~repro.runner.
+backends.persistent.PersistentBackend` pool and one :class:`~repro.
+runner.cache.ResultCache`, listens on a unix-domain socket, and speaks
+the length-prefixed JSON protocol from :mod:`~repro.service.protocol`.
+Every accepted connection gets its own thread; compute is serialized
+through the :class:`~repro.service.scheduler.CampaignScheduler`, which
+interleaves concurrent clients' batches fairly over the shared pool.
+
+Startup order is deliberate: recover the journal (close out requests a
+dead predecessor left in flight), **warm the pool before any thread
+starts** (fork-before-threads hygiene), then bind the socket — by the
+time a client can connect, the daemon is already consistent and hot.
+
+Shutdown is graceful on SIGTERM/SIGINT: stop accepting, let the leased
+batch finish, abort queued requests with journalled reasons, drain the
+pool.  A ``kill -9`` instead exercises the recovery path the journal
+exists for — see ``docs/serve.md``'s failure matrix.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import sys
+import threading
+import weakref
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.runner.backends.persistent import PersistentBackend
+from repro.runner.cache import ResultCache, default_cache_dir
+from repro.service.journal import ServiceJournal
+from repro.service.protocol import FrameError, encode_frame, recv_frame, send_frame
+from repro.service.scheduler import CampaignScheduler
+from repro.service.session import Session, SessionRegistry
+
+__all__ = ["ServeConfig", "ServeDaemon"]
+
+
+#: Daemons whose sockets must be closed in forked children.  The pool
+#: heals by *forking* replacement workers while the daemon is serving,
+#: and a fork inherits every open fd — including the listener and live
+#: client connections.  An orphaned worker holding the listener keeps
+#: the socket connectable after the daemon is SIGKILLed, so clients
+#: dial a zombie and hang in the hello handshake; a worker holding a
+#: connection fd keeps that client from ever seeing EOF.  The at-fork
+#: hook closes both classes of fd in the child.
+_FORK_REGISTRY: "weakref.WeakSet[ServeDaemon]" = weakref.WeakSet()
+_fork_hook_installed = False
+
+
+def _close_service_sockets_in_child() -> None:
+    for daemon in list(_FORK_REGISTRY):
+        try:
+            daemon._close_sockets_after_fork()
+        except Exception:
+            pass  # a half-torn-down daemon must not break the worker
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``python -m repro serve`` can tune."""
+
+    socket_path: Optional[str] = None
+    jobs: int = 2
+    cache_dir: Optional[str] = None
+    lease_s: float = 120.0
+    linger_s: float = 300.0
+    batch_points: Optional[int] = None
+    ring: int = 4096
+    quiet: bool = False
+
+
+class ServeDaemon:
+    """The long-lived sweep service process."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        root = (
+            Path(self.config.cache_dir)
+            if self.config.cache_dir
+            else default_cache_dir()
+        )
+        from repro.service.client import default_socket_path
+
+        self.socket_path = Path(
+            self.config.socket_path or default_socket_path()
+        )
+        self.cache = ResultCache(root)
+        self.journal = ServiceJournal(root)
+        self.registry = SessionRegistry(linger_s=self.config.linger_s)
+        self.backend = PersistentBackend(jobs=max(1, self.config.jobs))
+        self.scheduler = CampaignScheduler(
+            self.backend,
+            self.cache,
+            self.journal,
+            lease_s=self.config.lease_s,
+            batch_points=self.config.batch_points,
+            housekeeping=self.registry.reap,
+        )
+        self.recovered = 0  # requests the journal closed out at startup
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conn_threads: List[threading.Thread] = []
+        self._conn_socks: set = set()
+        self._conn_lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._stopped = threading.Event()
+
+    def _log(self, message: str) -> None:
+        if not self.config.quiet:
+            print(f"[serve] {message}", file=sys.stderr, flush=True)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> None:
+        global _fork_hook_installed
+        if not _fork_hook_installed:
+            os.register_at_fork(after_in_child=_close_service_sockets_in_child)
+            _fork_hook_installed = True
+        _FORK_REGISTRY.add(self)
+        recovered = self.journal.recover()
+        self.recovered = len(recovered)
+        if recovered:
+            self._log(
+                f"recovered journal: closed {len(recovered)} in-flight "
+                f"request(s) from a previous daemon"
+            )
+        # Fork the workers before any service thread exists.
+        self.backend.warm()
+        self._bind()
+        self.scheduler.start()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-serve-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self._log(
+            f"listening on {self.socket_path} "
+            f"(pid {os.getpid()}, jobs {self.backend.jobs})"
+        )
+
+    def _bind(self) -> None:
+        path = self.socket_path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if path.exists():
+            # A live daemon answers; a stale socket from a killed one
+            # does not and is safe to replace.
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            probe.settimeout(1.0)
+            try:
+                probe.connect(str(path))
+            except OSError:
+                path.unlink(missing_ok=True)
+            else:
+                probe.close()
+                raise RuntimeError(
+                    f"a daemon is already serving on {path}"
+                )
+            finally:
+                probe.close()
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(str(path))
+        listener.listen(64)
+        self._listener = listener
+
+    def stop(self, drain: bool = True) -> None:
+        """Graceful drain (default) or immediate teardown."""
+        if self._stopping.is_set():
+            self._stopped.set()
+            return
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        self.scheduler.stop(drain=drain)
+        if drain:
+            self.backend.close()
+        else:
+            self.backend.terminate()
+        self.socket_path.unlink(missing_ok=True)
+        for thread in self._conn_threads:
+            thread.join(timeout=2.0)
+        _FORK_REGISTRY.discard(self)
+        self._stopped.set()
+        self._log("stopped" if drain else "terminated")
+
+    def __enter__(self) -> "ServeDaemon":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def serve_forever(self) -> None:
+        """Run until SIGTERM/SIGINT, then drain and return."""
+
+        def _request_stop(signum, frame):  # noqa: ARG001
+            self._log(f"signal {signum}: draining")
+            # stop() joins worker threads; run it off the signal frame.
+            threading.Thread(target=self.stop, daemon=True).start()
+
+        previous = {}
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(signum, _request_stop)
+        try:
+            self._stopped.wait()
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+
+    # -- connections ----------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                break  # listener closed: shutting down
+            with self._conn_lock:
+                self._conn_socks.add(conn)
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="repro-serve-conn",
+                daemon=True,
+            )
+            thread.start()
+            self._conn_threads.append(thread)
+            self._conn_threads = [
+                t for t in self._conn_threads if t.is_alive()
+            ]
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            while True:
+                try:
+                    message = recv_frame(conn)
+                except FrameError:
+                    break  # desynchronized or torn: drop the connection
+                if message is None:
+                    break
+                if not self._handle(conn, message):
+                    break
+        except OSError:
+            pass
+        finally:
+            with self._conn_lock:
+                self._conn_socks.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _close_sockets_after_fork(self) -> None:
+        """Close the service's sockets *in a forked child*.
+
+        Runs via ``os.register_at_fork`` inside every child this
+        process forks — i.e. pool workers respawned by the healing
+        path.  Closing only drops the child's copy of each fd; the
+        daemon's own descriptors are untouched, but once the daemon
+        dies no orphan keeps its sockets half-alive.
+        """
+        for sock in [self._listener, *list(self._conn_socks)]:
+            if sock is None:
+                continue
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _handle(self, conn: socket.socket, message: Dict[str, Any]) -> bool:
+        """Dispatch one request frame; ``False`` ends the connection."""
+        op = message.get("op")
+        if op == "hello":
+            send_frame(conn, {
+                "ok": True, "server": "repro-serve", "pid": os.getpid(),
+                "jobs": self.backend.jobs, "socket": str(self.socket_path),
+            })
+            return True
+        if op == "ping":
+            send_frame(conn, {"ok": True, "pid": os.getpid()})
+            return True
+        if op == "status":
+            send_frame(conn, {
+                "ok": True,
+                "pid": os.getpid(),
+                "jobs": self.backend.jobs,
+                "sessions": len(self.registry.all()),
+                "journal": self.journal.summary(),
+                **self.scheduler.stats(),
+            })
+            return True
+        if op == "submit":
+            return self._op_submit(conn, message)
+        if op == "attach":
+            return self._op_attach(conn, message)
+        if op == "cancel":
+            token = str(message.get("token", ""))
+            send_frame(conn, {"ok": self.scheduler.cancel(token)})
+            return True
+        if op == "shutdown":
+            send_frame(conn, {"ok": True})
+            threading.Thread(
+                target=self.stop,
+                kwargs={"drain": bool(message.get("drain", True))},
+                daemon=True,
+            ).start()
+            return False
+        send_frame(conn, {"ok": False, "error": f"unknown op {op!r}"})
+        return True
+
+    def _op_submit(self, conn: socket.socket, message: Dict[str, Any]) -> bool:
+        try:
+            items = list(message["items"])
+            fn_token = tuple(message["fn"])
+            if len(fn_token) != 2:
+                raise ValueError("fn token must be [module, qualname]")
+        except (KeyError, TypeError, ValueError) as exc:
+            send_frame(conn, {"ok": False, "error": f"bad submit: {exc}"})
+            return True
+        keys = message.get("keys")
+        if keys is not None and len(keys) != len(items):
+            send_frame(conn, {"ok": False, "error": "keys/items length mismatch"})
+            return True
+        session = Session(
+            token=self.registry.new_token(),
+            sweep=str(message.get("sweep", "adhoc")),
+            items=items,
+            keys=list(keys) if keys is not None else None,
+            fn_token=(str(fn_token[0]), str(fn_token[1])),
+            timeout=message.get("timeout"),
+            wrap=message.get("wrap"),
+            ring=self.config.ring,
+        )
+        if self._stopping.is_set():
+            send_frame(conn, {"ok": False, "error": "daemon is draining"})
+            return True
+        self.registry.add(session)
+        self.scheduler.submit(session)
+        send_frame(conn, {
+            "ok": True, "token": session.token, "total": len(items),
+        })
+        # A cleanly terminated stream leaves the connection in sync, so
+        # the client can reuse it for its next sweep without paying a
+        # reconnect round-trip per campaign member.
+        return self._stream(conn, session, after=0)
+
+    def _op_attach(self, conn: socket.socket, message: Dict[str, Any]) -> bool:
+        token = str(message.get("token", ""))
+        session = self.registry.get(token)
+        if session is None:
+            # Unknown here means either reaped or a different daemon
+            # incarnation: the client falls back to resubmitting what
+            # it has not yet received.
+            send_frame(conn, {"ok": False, "error": "unknown-token"})
+            return True
+        after = int(message.get("after", 0))
+        send_frame(conn, {
+            "ok": True, "token": token, "total": len(session.items),
+        })
+        return self._stream(conn, session, after=after)
+
+    def _stream(self, conn: socket.socket, session: Session, after: int) -> bool:
+        """Replay ringed events past ``after``, then follow live ones.
+
+        Events are coalesced into one ``sendall`` per wakeup so a burst
+        of fast points does not pay one syscall round-trip each.
+        Returns ``True`` only when the stream delivered its terminal
+        event — the one case where the connection is still in sync and
+        safe to keep open for the client's next request.
+        """
+        session.attach()
+        last = after
+        try:
+            while True:
+                events = session.events_after(last, timeout=0.5)
+                if events is None:
+                    send_frame(conn, {"event": "gap", "oldest": session.oldest_seq()})
+                    return False
+                if events:
+                    conn.sendall(b"".join(encode_frame(e) for e in events))
+                    last = events[-1]["seq"]
+                    if events[-1].get("event") in ("done", "abort"):
+                        return True
+                elif session.closed:
+                    # The terminal was streamed to an earlier attach and
+                    # this client asked for events past it: nothing more
+                    # will ever arrive, so drop the connection to push
+                    # the client into its resubmit path.
+                    return False
+        except OSError:
+            return False  # client went away; the session keeps computing
+        finally:
+            session.detach()

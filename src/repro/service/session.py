@@ -1,0 +1,169 @@
+"""Client sessions: resume tokens, event ring buffers, reconnect.
+
+One :class:`Session` per accepted sweep request.  The session is the
+daemon-side half of the reconnect contract: every event (one per
+resolved point, plus the terminal ``done``/``abort``) gets a
+monotonically increasing ``seq`` and lands in a bounded ring buffer.
+A client that lost its connection re-attaches with its resume token
+and the last ``seq`` it saw; the session replays everything newer from
+the ring and the stream continues as if the drop never happened.  Only
+a client that stays away long enough for the ring to overflow past its
+position loses the session (it gets a ``gap`` error and falls back to
+``--resume``, which is cheap — completed points are in the cache).
+
+Sessions outlive their connections, not the daemon: computation keeps
+running while nobody is attached, and a finished session lingers for
+``linger_s`` so a late reconnect can still collect the tail before the
+reaper drops it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import uuid
+from collections import deque
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+__all__ = ["Session", "SessionRegistry"]
+
+
+class Session:
+    """One submitted sweep request and its event history."""
+
+    def __init__(
+        self,
+        token: str,
+        sweep: str,
+        items: List[Mapping[str, Any]],
+        keys: Optional[List[str]],
+        fn_token: Tuple[str, str],
+        timeout: Optional[float],
+        wrap: Optional[list],
+        ring: int = 4096,
+    ) -> None:
+        self.token = token
+        self.sweep = sweep
+        self.items = items
+        self.keys = keys
+        self.fn_token = fn_token
+        self.timeout = timeout
+        self.wrap = wrap
+        self._ring: deque = deque(maxlen=max(16, ring))
+        self._seq = itertools.count(1)
+        self._last_seq = 0
+        self._cond = threading.Condition()
+        self.closed = False      # done or abort event posted
+        self.cancelled = False   # client asked to drop queued work
+        self.attached = 0
+        self.last_detach = time.monotonic()
+        self.delivered = 0       # result events posted so far
+
+    # -- producer side (scheduler) --------------------------------------
+
+    def post(self, event: Dict[str, Any]) -> None:
+        """Stamp ``seq`` on ``event``, ring it, wake attached streams."""
+        self.post_many((event,))
+
+    def post_many(self, events) -> None:
+        """Post a burst of events under one lock round and one wake.
+
+        The scheduler posts cheap points in bursts so an attached
+        stream drains them into a single coalesced socket write instead
+        of a wake-encode-send cycle per point — the difference between
+        ~75µs and ~15µs of dispatch tax per point on the warm
+        micro-point benchmark.
+        """
+        with self._cond:
+            for event in events:
+                event["seq"] = self._last_seq = next(self._seq)
+                self._ring.append(event)
+                if event.get("event") == "result":
+                    self.delivered += 1
+                if event.get("event") in ("done", "abort"):
+                    self.closed = True
+            self._cond.notify_all()
+
+    def post_result(
+        self, index: int, value: Any, seconds: float,
+        error: Optional[str], cached: bool = False,
+    ) -> None:
+        self.post({
+            "event": "result", "index": index, "value": value,
+            "seconds": seconds, "error": error, "cached": cached,
+        })
+
+    # -- consumer side (connection streams) -----------------------------
+
+    def oldest_seq(self) -> int:
+        with self._cond:
+            return self._ring[0]["seq"] if self._ring else self._last_seq + 1
+
+    def events_after(self, after: int, timeout: float = 0.5) -> Optional[List[dict]]:
+        """Every ringed event with ``seq > after`` (blocking up to
+        ``timeout`` for the first new one), or ``None`` when ``after``
+        has already slid out of the ring — the replay gap a too-late
+        reconnect cannot bridge."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while True:
+                if self._ring and self._ring[0]["seq"] > after + 1:
+                    return None  # gap: events were evicted unseen
+                fresh = [e for e in self._ring if e["seq"] > after]
+                if fresh or self.closed:
+                    return fresh
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return fresh
+                self._cond.wait(remaining)
+
+    def attach(self) -> None:
+        with self._cond:
+            self.attached += 1
+
+    def detach(self) -> None:
+        with self._cond:
+            self.attached = max(0, self.attached - 1)
+            self.last_detach = time.monotonic()
+
+
+class SessionRegistry:
+    """Token → live session, with a linger-based reaper."""
+
+    def __init__(self, linger_s: float = 300.0) -> None:
+        self.linger_s = linger_s
+        self._lock = threading.Lock()
+        self._sessions: Dict[str, Session] = {}
+
+    @staticmethod
+    def new_token() -> str:
+        return uuid.uuid4().hex
+
+    def add(self, session: Session) -> None:
+        with self._lock:
+            self._sessions[session.token] = session
+
+    def get(self, token: str) -> Optional[Session]:
+        with self._lock:
+            return self._sessions.get(token)
+
+    def all(self) -> List[Session]:
+        with self._lock:
+            return list(self._sessions.values())
+
+    def reap(self) -> int:
+        """Drop closed sessions nobody has been attached to for
+        ``linger_s``; returns how many were dropped."""
+        now = time.monotonic()
+        dropped = 0
+        with self._lock:
+            for token, session in list(self._sessions.items()):
+                if (
+                    session.closed
+                    and session.attached == 0
+                    and now - session.last_detach > self.linger_s
+                ):
+                    del self._sessions[token]
+                    dropped += 1
+        return dropped

@@ -144,6 +144,28 @@ class TestCacheCommand:
         assert "removed 1" in capsys.readouterr().out
         assert ResultCache(tmp_path).stats().entries == 0
 
+    def test_compact_folds_dead_history(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path)
+        for _ in range(10):
+            cache.put("s", "k", {}, 1)  # nine dead records
+        assert cli_main(["cache", "compact", "--cache-dir", str(tmp_path)]) == 0
+        assert "9 dead record(s) dropped" in capsys.readouterr().out
+        assert len(cache.manifest_path("s").read_text().splitlines()) == 1
+        value, hit = cache.get("s", "k")
+        assert hit and value == 1
+
+    def test_compact_includes_service_journal(self, tmp_path, capsys):
+        from repro.service.journal import ServiceJournal
+
+        ResultCache(tmp_path).put("s", "k", {}, 1)
+        journal = ServiceJournal(tmp_path)
+        journal.request("t1", "s", 4)
+        journal.done("t1")
+        assert cli_main(["cache", "compact", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "compacted service journal: 2 record(s) dropped" in out
+        assert journal.fold() == {}
+
 
 class TestCacheEnvExport:
     """--cache-dir/--no-cache must also govern worker-side cached_call

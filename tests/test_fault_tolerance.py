@@ -443,3 +443,63 @@ class TestHypothesisConvergence:
         assert [o.value for o in result.outcomes] == [
             o.value for o in clean.outcomes
         ]
+
+
+class TestAlarmGuard:
+    """run_one's SIGALRM bracket must not clobber a caller's alarm."""
+
+    @pytest.fixture(autouse=True)
+    def _pristine_sigalrm(self):
+        handler = signal.getsignal(signal.SIGALRM)
+        yield
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, handler)
+
+    def test_preexisting_handler_and_timer_survive_guarded_point(self):
+        from repro.runner.backends.base import run_one
+
+        fired = []
+
+        def user_handler(signum, frame):
+            fired.append(signum)
+
+        signal.signal(signal.SIGALRM, user_handler)
+        signal.setitimer(signal.ITIMER_REAL, 60.0)
+
+        task = run_one(_square_point, {"x": 3}, timeout=5.0)
+        assert task.error is None and task.value["square"] == 9
+
+        # The displaced handler is back, and the caller's 60s alarm is
+        # re-armed with (roughly) the time it had left.
+        assert signal.getsignal(signal.SIGALRM) is user_handler
+        remaining = signal.setitimer(signal.ITIMER_REAL, 0.0)[0]
+        assert 55.0 < remaining <= 60.0
+        assert not fired
+
+    def test_user_alarm_due_during_point_still_fires(self):
+        from repro.runner.backends.base import run_one
+
+        fired = []
+
+        def user_handler(signum, frame):
+            fired.append(time.monotonic())
+
+        signal.signal(signal.SIGALRM, user_handler)
+        signal.setitimer(signal.ITIMER_REAL, 0.1)
+
+        # The point outlives the caller's alarm; the guard owns the
+        # single ITIMER_REAL meanwhile, then re-arms the displaced
+        # alarm floored at a tick so it fires promptly afterwards.
+        task = run_one(_slow_point, {"x": 1, "sleep": 0.3}, timeout=5.0)
+        assert task.error is None
+        deadline = time.monotonic() + 2.0
+        while not fired and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert fired, "displaced alarm never fired after the point"
+
+    def test_timeout_still_enforced_with_displaced_handler(self):
+        from repro.runner.backends.base import run_one
+
+        signal.signal(signal.SIGALRM, lambda s, f: None)
+        task = run_one(_slow_point, {"x": 1, "sleep": 5.0}, timeout=0.2)
+        assert task.error is not None and "PointTimeout" in task.error

@@ -598,3 +598,85 @@ class TestResume:
     def test_resume_requires_cache(self, tmp_path):
         with pytest.raises(ValueError, match="requires a cache"):
             run_sweep(_counting_sweep(tmp_path), resume=True)
+
+
+class TestManifestCompaction:
+    """Folding dead journal history away, crash-safely (ISSUE 8)."""
+
+    @staticmethod
+    def _churn(cache, n_keys=2, rewrites=12):
+        for _ in range(rewrites):
+            for i in range(n_keys):
+                cache.put("s", f"k{i}", {"i": i}, i)
+
+    def test_compact_drops_dead_records_only(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._churn(cache)
+        lines_before = cache.manifest_path("s").read_text().splitlines()
+        dropped = cache.compact("s")
+        assert dropped == len(lines_before) - 2
+        lines = cache.manifest_path("s").read_text().splitlines()
+        assert len(lines) == 2  # exactly the fold: one put per live key
+        assert sorted(cache.manifest("s")) == ["k0", "k1"]
+        for i in range(2):
+            value, hit = cache.get("s", f"k{i}")
+            assert hit and value == i
+
+    def test_compact_noop_when_nothing_dead(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("s", "k0", {}, 0)
+        before = cache.manifest_path("s").read_text()
+        assert cache.compact("s") == 0
+        assert cache.manifest_path("s").read_text() == before
+
+    def test_compaction_preserves_quarantine_records(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._churn(cache)
+        cache.quarantine("s", "bad", {"x": -1}, "permanent failure")
+        assert cache.compact("s") > 0
+        assert "bad" in cache.quarantined("s")
+
+    def test_manifest_read_auto_compacts_churned_journal(self, tmp_path):
+        """Opportunistic compaction: a plain index read rewrites a
+        journal whose dead history outnumbers its live entries."""
+        cache = ResultCache(tmp_path)
+        self._churn(cache)
+        assert len(
+            cache.manifest_path("s").read_text().splitlines()
+        ) > 2
+        assert sorted(cache.manifest("s")) == ["k0", "k1"]  # triggers it
+        assert len(
+            cache.manifest_path("s").read_text().splitlines()
+        ) == 2
+
+    def test_small_journals_never_churn(self, tmp_path):
+        """The floor: a handful of dead records is not worth a rewrite."""
+        cache = ResultCache(tmp_path)
+        cache.put("s", "k0", {}, 0)
+        cache.put("s", "k0", {}, 0)  # one dead record
+        lines = cache.manifest_path("s").read_text()
+        cache.manifest("s")
+        assert cache.manifest_path("s").read_text() == lines
+
+    def test_torn_compaction_leaves_manifest_intact(
+        self, tmp_path, monkeypatch
+    ):
+        """Crash between writing the compacted temp file and the rename:
+        the old journal must survive untouched and no temp debris leak
+        into the fold."""
+        import repro.runner.cache as cache_mod
+
+        cache = ResultCache(tmp_path)
+        self._churn(cache)
+        before = cache.manifest_path("s").read_text()
+
+        def torn_replace(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(cache_mod.os, "replace", torn_replace)
+        assert cache.compact("s") == 0  # best-effort: reports nothing done
+        monkeypatch.undo()
+        assert cache.manifest_path("s").read_text() == before
+        assert not list((tmp_path / "s").glob("*.tmp"))
+        assert cache.compact("s") > 0  # the retry completes the fold
+        assert sorted(cache.manifest_keys("s")) == ["k0", "k1"]
