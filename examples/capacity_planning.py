@@ -34,7 +34,8 @@ import time
 from typing import Mapping
 
 from repro.analysis import format_table
-from repro.engine import run_scheduler
+from repro.engine import BatchItem, run_scheduler
+from repro.experiments.batching import evaluate_batch
 from repro.platform import ut_cluster_platform
 from repro.runner import Sweep, prescreen_sweep, run_sweep
 from repro.schedulers import SECTION8_SCHEDULERS, section8_scheduler
@@ -46,24 +47,23 @@ TARGET_S = 1200.0
 Q = 80
 
 
-def _point(params: Mapping) -> dict:
-    """One configuration, simulated or estimated per ``params['engine']``.
-
-    Top-level and pure so the sweep runner can cache it and fan it out
-    across processes like any experiment point.
-    """
+def _item(params: Mapping) -> BatchItem:
+    """One configuration's engine inputs, rebuilt from its scalars."""
     platform = ut_cluster_platform(
         p=params["p"], memory_mb=params["memory_mb"], q=params["q"]
     )
     workload = Workload(
         params["workload"], params["n_a"], params["n_ab"], params["n_b"]
     )
-    trace = run_scheduler(
-        section8_scheduler(params["algorithm"]),
-        platform,
-        workload.shape(params["q"]),
+    return BatchItem(
+        scheduler=lambda: section8_scheduler(params["algorithm"]),
+        platform=platform,
+        shape=workload.shape(params["q"]),
         engine=params.get("engine", "fast"),
     )
+
+
+def _row(params: Mapping, trace) -> dict:
     return {
         "memory_mb": params["memory_mb"],
         "p": params["p"],
@@ -72,6 +72,27 @@ def _point(params: Mapping) -> dict:
         "workers": len(trace.enrolled_workers),
         "gb_machines": params["p"] * params["memory_mb"] / 1024.0,
     }
+
+
+def _point(params: Mapping) -> dict:
+    """One configuration, simulated or estimated per ``params['engine']``.
+
+    Top-level and pure so the sweep runner can cache it and fan it out
+    across processes like any experiment point.
+    """
+    item = _item(params)
+    trace = run_scheduler(
+        item.scheduler(), item.platform, item.shape, engine=item.engine
+    )
+    return _row(params, trace)
+
+
+def _batch_points(points) -> list:
+    """Batched grid evaluation (the :data:`repro.runner.BatchableFn`
+    contract): whole point-groups go through the vectorized engine,
+    with per-point scalar fallback wherever configurations differ
+    structurally."""
+    return evaluate_batch(points, _item, _row)
 
 
 def build_grid(
@@ -146,7 +167,10 @@ def main(
         return cost if row["makespan_s"] <= target else float("inf")
 
     screened = prescreen_sweep(
-        Sweep(name="capacity", run_fn=_point, points=points),
+        Sweep(
+            name="capacity", run_fn=_point, points=points,
+            batch_fn=_batch_points,
+        ),
         keep=keep,
         score=score,
     )

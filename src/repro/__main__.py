@@ -205,6 +205,13 @@ def _cmd_sweep(argv: list[str]) -> int:
              "success clears the quarantine record)",
     )
     parser.add_argument(
+        "--batch", default=True, action=argparse.BooleanOptionalAction,
+        help="dispatch whole point-groups through each sweep's batchable "
+             "function where one is declared (vectorized engine with "
+             "per-point scalar fallback; results stay byte-identical); "
+             "--no-batch restores pure per-point dispatch",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-point progress lines"
     )
     try:
@@ -403,6 +410,7 @@ def _cmd_sweep(argv: list[str]) -> int:
                 on_error=on_error,
                 retry=retry_policy,
                 retry_quarantined=args.retry_quarantined,
+                batch=args.batch,
             )
             failed += result.errors
             quarantined += result.quarantined
@@ -519,6 +527,15 @@ def _cmd_cache(argv: list[str]) -> int:
     print(f"entries   : {stats.entries}")
     print(f"size      : {stats.bytes / 1024:.1f} KiB")
     print(f"sweeps    : {', '.join(stats.sweeps) if stats.sweeps else '(none)'}")
+    if stats.batch_entries:
+        print(
+            f"batched   : {stats.batch_entries} entr"
+            f"{'y' if stats.batch_entries == 1 else 'ies'} "
+            "resolved via group dispatch (provenance only; keys are "
+            "identical to scalar runs)"
+        )
+        for name, count in stats.batch_per_sweep:
+            print(f"  {name}: {count} point(s)")
     if stats.quarantined:
         print(f"quarantined: {stats.quarantined} known-permanent failure(s)")
         for name, _, quarantined in stats.per_sweep:

@@ -31,6 +31,7 @@ background port traffic — and stay byte-identical under it
 (``run_scheduler(..., scenario=...)``; see ``docs/scenarios.md``).
 """
 
+from repro.engine.batch import BatchItem, BatchTrace, run_batch
 from repro.engine.chunks import Chunk, Phase, tile_chunks, toledo_chunks
 from repro.engine.engine import ENGINES, Engine, run_scheduler
 from repro.engine.fast import FastEngine, FastEngineUnsupported, run_fast
@@ -44,6 +45,8 @@ from repro.engine.trace import CommInterval, ComputeInterval, Trace
 
 __all__ = [
     "ENGINES",
+    "BatchItem",
+    "BatchTrace",
     "Chunk",
     "CommInterval",
     "ComputeInterval",
@@ -55,6 +58,7 @@ __all__ = [
     "ModelEstimate",
     "Phase",
     "Trace",
+    "run_batch",
     "run_fast",
     "run_model",
     "run_scheduler",

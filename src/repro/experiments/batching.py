@@ -1,0 +1,36 @@
+"""Shared glue for the experiments' batchable point functions.
+
+Each ported experiment module declares a top-level ``batch_fn`` beside
+its per-point ``run_fn`` (the :data:`repro.runner.BatchableFn`
+contract).  The pattern is always the same: translate each point's
+parameters into a :class:`repro.engine.BatchItem`, hand the whole group
+to :func:`repro.engine.run_batch` (which vectorizes structure-sharing
+subgroups and falls back to the scalar fast engine everywhere it cannot
+prove byte-identity), then format each trace into the point's table
+row.  This module keeps that translation loop in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Mapping, Sequence
+
+from repro.engine import BatchItem, run_batch
+
+__all__ = ["evaluate_batch"]
+
+
+def evaluate_batch(
+    points: Sequence[Mapping[str, Any]],
+    make_item: Callable[[Mapping[str, Any]], BatchItem],
+    make_row: Callable[[Mapping[str, Any], Any], Any],
+) -> List[Any]:
+    """Evaluate ``points`` through the batched engine; rows in order.
+
+    ``make_item`` rebuilds one point's :class:`BatchItem` from its
+    parameter mapping (pure, like the per-point function itself);
+    ``make_row`` turns ``(params, trace)`` into that point's result.
+    The traces come back from :func:`run_batch` byte-identical to
+    ``engine="fast"``, so the rows match the scalar path exactly.
+    """
+    traces = run_batch([make_item(params) for params in points])
+    return [make_row(params, trace) for params, trace in zip(points, traces)]

@@ -23,7 +23,7 @@ from repro.platform.calibration import (
     calibrate,
     memory_mb_to_blocks,
 )
-from repro.platform.model import Platform, Worker, perturbed
+from repro.platform.model import Platform, Worker, perturbed, scaled_bandwidth
 from repro.platform.named import table1_platform, table2_platform, ut_cluster_platform
 
 __all__ = [
@@ -36,6 +36,7 @@ __all__ = [
     "calibrate",
     "memory_mb_to_blocks",
     "perturbed",
+    "scaled_bandwidth",
     "table1_platform",
     "table2_platform",
     "ut_cluster_platform",

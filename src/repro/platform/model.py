@@ -12,7 +12,7 @@ from typing import Iterable, Iterator, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["Worker", "Platform", "perturbed"]
+__all__ = ["Worker", "Platform", "perturbed", "scaled_bandwidth"]
 
 
 @dataclass(frozen=True)
@@ -170,3 +170,20 @@ def perturbed(
         for wk in platform.workers
     )
     return Platform(workers, f"{platform.name}~jitter")
+
+
+def scaled_bandwidth(platform: Platform, factor: float) -> Platform:
+    """Return a copy of ``platform`` with every link ``c`` scaled.
+
+    ``factor > 1`` means *slower* links (``c`` is seconds per block).
+    Scaling every worker uniformly preserves the relative bandwidth
+    ranking, so scheduler decisions are usually unchanged for nearby
+    factors — which is what makes a bandwidth axis an ideal batching
+    axis for the vectorized engine (see ``docs/engines.md``).
+    """
+    if factor <= 0:
+        raise ValueError(f"bandwidth factor must be positive, got {factor}")
+    if factor == 1.0:
+        return platform
+    workers = tuple(replace(wk, c=wk.c * factor) for wk in platform.workers)
+    return Platform(workers, f"{platform.name}~c×{factor:g}")

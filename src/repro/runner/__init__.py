@@ -51,6 +51,7 @@ from repro.runner.prescreen import (
 )
 from repro.runner.sweep import (
     FAILED,
+    BatchableFn,
     Campaign,
     CampaignResult,
     CircuitOpenError,
@@ -68,6 +69,7 @@ from repro.runner.sweep import (
 
 __all__ = [
     "BACKENDS",
+    "BatchableFn",
     "CacheContext",
     "CacheStats",
     "Campaign",

@@ -97,7 +97,11 @@ class CacheStats:
 
     ``per_sweep`` maps sweep name to ``(entries, quarantined)`` so the
     CLI can surface known-permanent failures per namespace without
-    another index read.
+    another index read.  ``batch_entries`` counts live entries whose
+    last ``put`` came from the vectorized batch path (the ``"batch":
+    true`` manifest stamp — see :meth:`ResultCache.put`), with
+    ``batch_per_sweep`` the per-namespace breakdown; everything else
+    was computed by the scalar per-point path.
     """
 
     entries: int
@@ -105,6 +109,8 @@ class CacheStats:
     sweeps: Tuple[str, ...]
     quarantined: int = 0
     per_sweep: Tuple[Tuple[str, int, int], ...] = ()
+    batch_entries: int = 0
+    batch_per_sweep: Tuple[Tuple[str, int], ...] = ()
 
 
 class ResultCache:
@@ -149,19 +155,38 @@ class ResultCache:
                 pass  # e.g. a read-only shared cache: miss, don't crash
             return None, False
 
-    def put(self, sweep: str, key: str, params: Mapping[str, Any], value: Any) -> None:
-        """Store ``value`` atomically; raises ``TypeError`` if not JSON-able."""
-        blob = json.dumps(
-            {
-                "format": _FORMAT,
-                "key": key,
-                "sweep": sweep,
-                "params": dict(params),
-                "created": time.time(),
-                "result": value,
-            },
-            indent=None,
-        )
+    def put(
+        self,
+        sweep: str,
+        key: str,
+        params: Mapping[str, Any],
+        value: Any,
+        batch: bool = False,
+    ) -> None:
+        """Store ``value`` atomically; raises ``TypeError`` if not JSON-able.
+
+        ``batch`` marks the value as computed by the vectorized batch
+        path (:mod:`repro.engine.batch` via a sweep's ``batch_fn``): the
+        entry payload and its manifest ``put`` record gain a ``"batch":
+        true`` stamp so ``cache info`` can report batch-vs-scalar
+        provenance.  The stamp is pure provenance — the key, lookup, and
+        the ``result`` payload are identical either way, so batch and
+        scalar runs stay interchangeable cache-wise.  (Like the manifest
+        itself the stamp is advisory: :meth:`rebuild_manifest` re-derives
+        the index from entry *stats* without opening files, so a rebuilt
+        journal reports every entry as scalar.)
+        """
+        record: Dict[str, Any] = {
+            "format": _FORMAT,
+            "key": key,
+            "sweep": sweep,
+            "params": dict(params),
+            "created": time.time(),
+            "result": value,
+        }
+        if batch:
+            record["batch"] = True
+        blob = json.dumps(record, indent=None)
         data = blob.encode("utf-8")
         path = self.path_for(sweep, key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -183,11 +208,13 @@ class ResultCache:
                 # directory: index the existing entries too.
                 self.rebuild_manifest(sweep)
                 return
-            self._append_manifest(
-                sweep,
-                {"op": "put", "key": key, "bytes": len(data),
-                 "created": time.time()},
-            )
+            put_record: Dict[str, Any] = {
+                "op": "put", "key": key, "bytes": len(data),
+                "created": time.time(),
+            }
+            if batch:
+                put_record["batch"] = True
+            self._append_manifest(sweep, put_record)
         except OSError:
             pass  # entry files are the ground truth; the index can wait
 
@@ -205,19 +232,21 @@ class ResultCache:
 
     def _read_manifest(
         self, sweep: str
-    ) -> Tuple[Dict[str, int], Dict[str, dict], int] | None:
+    ) -> Tuple[Dict[str, int], Dict[str, dict], int, Set[str]] | None:
         """Fold the journal into ``({key: bytes}, {key: quarantine},
-        records)`` — ``records`` counting every journal line so callers
-        can spot a journal dominated by dead history — or ``None`` when
-        the manifest is absent or any line is unparsable (torn
-        concurrent write, manual edit) — the caller rebuilds from entry
-        files."""
+        records, batch_keys)`` — ``records`` counting every journal line
+        so callers can spot a journal dominated by dead history,
+        ``batch_keys`` the live keys whose last ``put`` carried the
+        batch-provenance stamp — or ``None`` when the manifest is absent
+        or any line is unparsable (torn concurrent write, manual edit) —
+        the caller rebuilds from entry files."""
         try:
             text = self.manifest_path(sweep).read_text()
         except OSError:
             return None
         live: Dict[str, int] = {}
         quar: Dict[str, dict] = {}
+        batch_keys: Set[str] = set()
         records = 0
         for line in text.splitlines():
             if not line.strip():
@@ -231,13 +260,18 @@ class ResultCache:
             if op == "put":
                 live[key] = int(record.get("bytes", 0))
                 quar.pop(key, None)  # a success clears the quarantine
+                if record.get("batch"):
+                    batch_keys.add(key)
+                else:
+                    batch_keys.discard(key)  # last put wins
             elif op == "del":
                 live.pop(key, None)
+                batch_keys.discard(key)
             elif op == "quarantine":
                 quar[key] = record
             else:
                 return None
-        return live, quar, records
+        return live, quar, records, batch_keys
 
     def rebuild_manifest(self, sweep: str) -> Dict[str, int]:
         """Re-derive the sweep's index from its entry files.
@@ -315,7 +349,7 @@ class ResultCache:
         folded = self._read_manifest(sweep)
         if folded is None:
             return self.rebuild_manifest(sweep)
-        live, quar, records = folded
+        live, quar, records, _ = folded
         if self._wants_compaction(live, quar, records):
             self.compact(sweep)
         return live
@@ -349,13 +383,17 @@ class ResultCache:
         if folded is None:
             self.rebuild_manifest(sweep)
             return 0
-        live, quar, records = folded
+        live, quar, records, batch_keys = folded
         dead = records - len(live) - len(quar)
         if dead <= 0:
             return 0
         lines = "".join(
-            json.dumps({"op": "put", "key": key, "bytes": size},
-                       separators=(",", ":")) + "\n"
+            json.dumps(
+                {"op": "put", "key": key, "bytes": size, "batch": True}
+                if key in batch_keys
+                else {"op": "put", "key": key, "bytes": size},
+                separators=(",", ":"),
+            ) + "\n"
             for key, size in sorted(live.items())
         ) + "".join(
             json.dumps(record, separators=(",", ":")) + "\n"
@@ -422,7 +460,7 @@ class ResultCache:
             folded = self._read_manifest(sweep)
         if folded is None:
             return {}
-        live, quar, records = folded
+        live, quar, records, _ = folded
         if self._wants_compaction(live, quar, records):
             self.compact(sweep)
         return quar
@@ -463,8 +501,10 @@ class ResultCache:
         count = 0
         size = 0
         bad = 0
+        batch_total = 0
         sweeps = []
         per_sweep = []
+        batch_per_sweep = []
         if self.root.is_dir():
             for child in sorted(self.root.iterdir()):
                 if not child.is_dir():
@@ -474,23 +514,30 @@ class ResultCache:
                     live = self.rebuild_manifest(child.name)
                     refolded = self._read_manifest(child.name)
                     quar = refolded[1] if refolded is not None else {}
+                    batch_keys = refolded[3] if refolded is not None else set()
                 else:
-                    live, quar, records = folded
+                    live, quar, records, batch_keys = folded
                     if self._wants_compaction(live, quar, records):
                         self.compact(child.name)
                 if not live and not quar:
                     continue
+                batch_live = sum(1 for key in batch_keys if key in live)
                 count += len(live)
                 size += sum(live.values())
                 bad += len(quar)
+                batch_total += batch_live
                 sweeps.append(child.name)
                 per_sweep.append((child.name, len(live), len(quar)))
+                if batch_live:
+                    batch_per_sweep.append((child.name, batch_live))
         return CacheStats(
             entries=count,
             bytes=size,
             sweeps=tuple(sweeps),
             quarantined=bad,
             per_sweep=tuple(per_sweep),
+            batch_entries=batch_total,
+            batch_per_sweep=tuple(batch_per_sweep),
         )
 
     def clear(self, sweep: str | None = None) -> int:

@@ -7,6 +7,8 @@ nothing a test does should read from — or leak into — the developer's
 real ``~/.cache/repro-sweeps``.
 """
 
+import sys
+
 import pytest
 
 
@@ -26,3 +28,12 @@ def _hermetic_sweep_cache(tmp_path_factory, monkeypatch):
         "REPRO_CACHE_DIR", str(tmp_path_factory.mktemp("sweep-cache"))
     )
     monkeypatch.delenv("REPRO_CACHE_DISABLE", raising=False)
+    yield
+    # The robustness baselines are memoized at two levels: the lru_cache
+    # sits *above* cached_call, so a warm in-process memo from one test
+    # would let a later test skip the disk store its fresh
+    # REPRO_CACHE_DIR was supposed to observe.  Keep the per-test cache
+    # swap honest by dropping the in-process level with it.
+    robustness = sys.modules.get("repro.experiments.robustness")
+    if robustness is not None:
+        robustness._baseline_makespan.cache_clear()

@@ -1,0 +1,292 @@
+"""Batched sweep dispatch (ISSUE 9): runner semantics + backend parity.
+
+Covers the runner half of the batched-evaluation contract:
+
+* every ported experiment produces **byte-identical tables** with
+  ``batch=True`` across all four execution backends (serial / process /
+  persistent / remote) vs the scalar per-point reference;
+* a failed group falls back to per-point scalar dispatch, so retries
+  and quarantine records stay per-point (the ISSUE's RetryPolicy fix);
+* cache keys are untouched — batch-resolved entries warm-resume scalar
+  runs and vice versa — while ``"batch": true`` provenance lands in the
+  manifest, survives compaction, and surfaces in ``ResultCache.stats``;
+* prescreen stays batch-oblivious and unbatchable functions (closures)
+  degrade silently to the scalar path.
+"""
+
+import tempfile
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.runner import (
+    ResultCache,
+    RetryPolicy,
+    Sweep,
+    run_sweep,
+)
+
+# ---------------------------------------------------------------------------
+# module-level point functions (importable: process/persistent/remote pools
+# and the _token_for gate all require real module attributes)
+# ---------------------------------------------------------------------------
+
+
+def _square(params):
+    return {"x": params["x"], "square": params["x"] ** 2}
+
+
+def _square_batch(points):
+    return [_square(p) for p in points]
+
+
+def _square_batch_poisoned(points):
+    """Raises whenever the group contains the poison point."""
+    if any(p["x"] == 3 for p in points):
+        raise RuntimeError("poisoned group")
+    return [_square(p) for p in points]
+
+
+def _square_batch_short(points):
+    """Wrong cardinality: the runner must treat this as a failed group."""
+    return [_square(p) for p in points][:-1]
+
+
+def _poison_scalar(params):
+    if params["x"] == 3:
+        raise RuntimeError("permanent scalar failure")
+    return _square(params)
+
+
+def _sweep(n=8, batch_fn=_square_batch, run_fn=_square, name="batched"):
+    return Sweep(
+        name=name, run_fn=run_fn,
+        points=tuple({"x": x} for x in range(n)),
+        batch_fn=batch_fn,
+    )
+
+
+@pytest.fixture
+def daemon():
+    """An in-process serve daemon for the remote backend."""
+    from repro.service.daemon import ServeConfig, ServeDaemon
+
+    tmp = Path(tempfile.mkdtemp(prefix="repro-batch-", dir="/tmp"))
+    d = ServeDaemon(ServeConfig(
+        socket_path=str(tmp / "s.sock"),
+        cache_dir=str(tmp / "cache"),
+        jobs=2,
+        quiet=True,
+    ))
+    d.start()
+    yield d
+    d.stop()
+    import shutil
+
+    shutil.rmtree(tmp, ignore_errors=True)
+
+
+def _backend(spec, daemon):
+    if spec == "remote":
+        from repro.runner import RemoteBackend
+
+        return RemoteBackend(jobs=2, socket_path=str(daemon.socket_path))
+    return spec
+
+
+BACKENDS = ("serial", "process", "persistent", "remote")
+
+
+class TestBatchDispatch:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_batched_results_identical_to_scalar(self, backend, daemon):
+        reference = run_sweep(_sweep(), backend="serial", batch=False)
+        exec_backend = _backend(backend, daemon)
+        try:
+            result = run_sweep(_sweep(), jobs=2, backend=exec_backend)
+        finally:
+            if backend == "remote":
+                exec_backend.close()
+        assert result.rows == reference.rows
+        assert all(o.batch for o in result.outcomes)
+        assert not any(o.batch for o in reference.outcomes)
+
+    def test_no_batch_flag_restores_scalar_dispatch(self):
+        result = run_sweep(_sweep(), jobs=2, batch=False)
+        assert not any(o.batch for o in result.outcomes)
+        assert result.rows == run_sweep(_sweep(), jobs=2).rows
+
+    def test_sweep_without_batch_fn_runs_scalar(self):
+        result = run_sweep(_sweep(batch_fn=None), jobs=2)
+        assert not any(o.batch for o in result.outcomes)
+
+    def test_unimportable_batch_fn_degrades_silently(self):
+        """A closure can't cross process boundaries: the token gate must
+        route the whole sweep through the scalar path, not crash."""
+        sweep = _sweep(batch_fn=lambda pts: [_square(p) for p in pts])
+        result = run_sweep(sweep, jobs=2)
+        assert result.rows == run_sweep(_sweep(), batch=False).rows
+        assert not any(o.batch for o in result.outcomes)
+
+    def test_failed_group_falls_back_to_scalar_per_point(self):
+        """Satellite regression: a batch failure costs the group its
+        fast path, nothing else — every point still resolves via the
+        ordinary scalar dispatch (with its per-point retry budget)."""
+        result = run_sweep(_sweep(batch_fn=_square_batch_poisoned), jobs=1)
+        assert result.rows == run_sweep(_sweep(), batch=False).rows
+        assert not any(o.batch for o in result.outcomes)
+        assert all(o.status == "ok" for o in result.outcomes)
+
+    def test_wrong_cardinality_group_treated_as_failed(self):
+        result = run_sweep(_sweep(batch_fn=_square_batch_short), jobs=1)
+        assert result.rows == run_sweep(_sweep(), batch=False).rows
+        assert not any(o.batch for o in result.outcomes)
+
+    def test_quarantine_stays_per_point(self, tmp_path):
+        """The ISSUE's RetryPolicy fix: after a failed batch, only the
+        genuinely-poisoned point is retried to exhaustion and
+        quarantined; its groupmates succeed scalar."""
+        cache = ResultCache(tmp_path)
+        sweep = _sweep(
+            batch_fn=_square_batch_poisoned, run_fn=_poison_scalar
+        )
+        result = run_sweep(
+            sweep, jobs=1, cache=cache, on_error="keep",
+            retry=RetryPolicy(retries=1, backoff=0.0),
+        )
+        bad = [o for o in result.outcomes if o.status == "error"]
+        assert [o.params["x"] for o in bad] == [3]
+        assert sum(o.status == "ok" for o in result.outcomes) == 7
+        quarantined = cache.quarantined(sweep.name)
+        assert len(quarantined) == 1
+        (record,) = quarantined.values()
+        assert record["params"]["x"] == 3
+
+    def test_batch_outcomes_emit_in_declaration_order(self):
+        progress_order = []
+        run_sweep(
+            _sweep(), jobs=2,
+            progress=lambda pr: progress_order.append(pr.params["x"]),
+        )
+        assert progress_order == list(range(8))
+
+
+class TestBatchCacheProvenance:
+    def test_cache_keys_identical_to_scalar(self, tmp_path):
+        """A batch-warmed cache must serve a scalar resume and vice
+        versa: provenance is advisory, keys don't change."""
+        cache = ResultCache(tmp_path / "a")
+        batched = run_sweep(_sweep(), jobs=2, cache=cache)
+        assert all(o.batch for o in batched.outcomes)
+        resumed = run_sweep(
+            _sweep(), jobs=2, cache=cache, resume=True, batch=False
+        )
+        assert all(o.cached for o in resumed.outcomes)
+        assert resumed.rows == batched.rows
+
+        cache2 = ResultCache(tmp_path / "b")
+        scalar = run_sweep(_sweep(), jobs=2, cache=cache2, batch=False)
+        resumed2 = run_sweep(_sweep(), jobs=2, cache=cache2, resume=True)
+        assert all(o.cached for o in resumed2.outcomes)
+        assert resumed2.rows == scalar.rows
+
+    def test_stats_report_batch_provenance(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep(_sweep(), jobs=2, cache=cache)
+        run_sweep(
+            _sweep(name="scalar-only"), jobs=2, cache=cache, batch=False
+        )
+        stats = cache.stats()
+        assert stats.batch_entries == 8
+        assert dict(stats.batch_per_sweep) == {"batched": 8}
+        # per_sweep keeps its historical 3-tuple shape
+        assert all(len(entry) == 3 for entry in stats.per_sweep)
+
+    def test_provenance_survives_compaction(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep(_sweep(), jobs=2, cache=cache)
+        cache.compact("batched")
+        assert cache.stats().batch_entries == 8
+
+    def test_scalar_overwrite_clears_provenance(self, tmp_path):
+        """Re-putting a key without the batch stamp folds it back to
+        scalar provenance (last writer wins, like the rest of the
+        manifest fold)."""
+        cache = ResultCache(tmp_path)
+        cache.put("s", "k1", {"x": 1}, {"v": 1}, batch=True)
+        cache.put("s", "k2", {"x": 2}, {"v": 2}, batch=True)
+        assert cache.stats().batch_entries == 2
+        cache.put("s", "k1", {"x": 1}, {"v": 1})
+        assert cache.stats().batch_entries == 1
+
+
+class TestBatchPrescreenInteraction:
+    def test_prescreen_is_batch_oblivious(self, monkeypatch):
+        """prescreen_sweep narrows points but keeps batch_fn, so the
+        surviving shortlist still batches."""
+        from repro.runner import prescreen_sweep
+
+        sweep = _sweep()
+        screened = prescreen_sweep(
+            sweep, keep=4, score=lambda params, row: row["square"],
+        )
+        assert screened.sweep.batch_fn is sweep.batch_fn
+        result = run_sweep(screened.sweep, jobs=2)
+        assert len(result.rows) == 4
+        assert all(o.batch for o in result.outcomes)
+
+
+SMOKE_EXPERIMENTS = ("fig10", "fig11", "table1", "robustness")
+
+
+def _experiment_sweep(name):
+    if name == "fig10":
+        from repro.experiments import fig10
+
+        return fig10.sweep(scale=8)
+    if name == "fig11":
+        from repro.experiments import fig11
+
+        return fig11.sweep(runs=2, scale=16)
+    if name == "table1":
+        from repro.experiments import table1
+
+        return table1.sweep()
+    from repro.experiments import robustness
+
+    return robustness.sweep(scale=8, kinds=("drift",), severities=(0.5,))
+
+
+class TestExperimentBackendParity:
+    """Byte-identical tables for every ported experiment, all backends."""
+
+    @pytest.mark.parametrize("experiment", SMOKE_EXPERIMENTS)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_batched_tables_byte_identical(self, experiment, backend, daemon):
+        reference = run_sweep(
+            _experiment_sweep(experiment), backend="serial", batch=False
+        )
+        exec_backend = _backend(backend, daemon)
+        try:
+            result = run_sweep(
+                _experiment_sweep(experiment), jobs=2, backend=exec_backend
+            )
+        finally:
+            if backend == "remote":
+                exec_backend.close()
+        assert result.rows == reference.rows, (experiment, backend)
+
+    def test_fig10_bandwidth_axis_batches_and_matches(self):
+        """The bandwidth-scale axis (the benchmark's sweep shape) rides
+        the vectorized path and stays byte-identical."""
+        from repro.experiments import fig10
+
+        scales = [1.0 + 0.002 * i for i in range(4)]
+        sweep = fig10.sweep(scale=8, bandwidth_scales=scales)
+        batched = run_sweep(sweep, jobs=2)
+        reference = run_sweep(
+            replace(sweep, batch_fn=None), jobs=2, batch=False
+        )
+        assert batched.rows == reference.rows
+        assert all(o.batch for o in batched.outcomes)
