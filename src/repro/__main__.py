@@ -320,7 +320,9 @@ def _cmd_sweep(argv: list[str]) -> int:
             sweeps = []
             for swp in campaign.sweeps:
                 try:
-                    result = prescreen_sweep(swp, keep=args.prescreen)
+                    result = prescreen_sweep(
+                        swp, keep=args.prescreen, batch=args.batch
+                    )
                 except PrescreenUnsupported as exc:
                     print(
                         f"[{swp.name}] prescreen skipped: {exc}",
@@ -426,6 +428,11 @@ def _cmd_sweep(argv: list[str]) -> int:
             summary = (
                 f"{name}: {result.hits} cached, {result.misses} computed"
             )
+            if result.batch_groups or result.shards:
+                summary += (
+                    f" [{result.batch_groups} groups, "
+                    f"{result.shards} shards]"
+                )
             if result.errors:
                 summary += f" ({result.errors} failed)"
             if result.quarantined:
@@ -487,7 +494,7 @@ def _cmd_cache(argv: list[str]) -> int:
     )
     parser.add_argument(
         "action", nargs="?", default="info",
-        choices=("info", "clear", "rebuild", "compact"),
+        choices=("info", "clear", "rebuild", "compact", "migrate"),
     )
     parser.add_argument("--cache-dir", default=None, metavar="DIR")
     try:
@@ -508,6 +515,18 @@ def _cmd_cache(argv: list[str]) -> int:
                     total += len(cache.rebuild_manifest(child.name))
         print(f"rebuilt manifests for {total} entries in {cache.root}")
         return 0
+    if args.action == "migrate":
+        moved = cache.migrate()
+        if moved:
+            for name, count in sorted(moved.items()):
+                print(f"  {name}: {count} entr"
+                      f"{'y' if count == 1 else 'ies'} moved into shards")
+        total = sum(moved.values())
+        print(
+            f"migrated {total} legacy flat entr"
+            f"{'y' if total == 1 else 'ies'} in {cache.root}"
+        )
+        return 0
     if args.action == "compact":
         dropped = 0
         if cache.root.is_dir():
@@ -527,6 +546,11 @@ def _cmd_cache(argv: list[str]) -> int:
     print(f"entries   : {stats.entries}")
     print(f"size      : {stats.bytes / 1024:.1f} KiB")
     print(f"sweeps    : {', '.join(stats.sweeps) if stats.sweeps else '(none)'}")
+    if stats.shards_per_sweep:
+        shards = ", ".join(
+            f"{name}: {count}" for name, count in stats.shards_per_sweep
+        )
+        print(f"shards    : {shards}")
     if stats.batch_entries:
         print(
             f"batched   : {stats.batch_entries} entr"

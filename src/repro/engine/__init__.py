@@ -41,6 +41,7 @@ from repro.engine.model import (
     ModelEstimate,
     run_model,
 )
+from repro.engine.model_batch import run_model_batch
 from repro.engine.trace import CommInterval, ComputeInterval, Trace
 
 __all__ = [
@@ -61,6 +62,7 @@ __all__ = [
     "run_batch",
     "run_fast",
     "run_model",
+    "run_model_batch",
     "run_scheduler",
     "tile_chunks",
     "toledo_chunks",

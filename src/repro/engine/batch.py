@@ -959,7 +959,15 @@ def run_batch(
     id_memo: Dict[int, int] = {}
     content_ids: Dict[tuple, int] = {}
     groups: Dict[tuple, List[tuple]] = {}
+    model_indices: List[int] = []
     for i, item in enumerate(items):
+        if item.engine == "model" and item.scenario is None:
+            # Stationary model points vectorize too — the estimator's
+            # heap walk groups and scans just like the fast engine (see
+            # repro.engine.model_batch).  Scenario model points stay
+            # scalar: a rate-step crossing reshapes the estimate.
+            model_indices.append(i)
+            continue
         if item.engine != "fast" or item.scenario is not None:
             results[i] = scalar(i)
             continue
@@ -974,6 +982,11 @@ def run_batch(
             continue
         sig = _signature(engine, item, id_memo, content_ids)
         groups.setdefault(sig, []).append((i, engine))
+
+    if model_indices:
+        from repro.engine.model_batch import batch_model_items
+
+        batch_model_items(items, model_indices, results, scalar, min_group)
 
     for sig, members in groups.items():
         if len(members) < max(min_group, 2):

@@ -1,19 +1,38 @@
 """Content-addressed on-disk cache for sweep-point results.
 
-Layout: one JSON file per point, ``<root>/<sweep-name>/<key>.json``,
-where ``key`` is the :func:`repro.runner.hashing.point_key` digest,
-plus one append-only **manifest** per sweep directory,
-``<root>/<sweep-name>/MANIFEST.jsonl``, journalling every entry written
-or healed away.  Entries embed the key and parameters that produced
-them, so a cache directory is self-describing and human-readable.
-(Entries may contain ``NaN`` tokens — Python's JSON dialect — where an
-experiment reports a missing paper value, so strict-JSON consumers need
-``parse_constant``.)
+Layout: one JSON file per point, sharded by key prefix::
 
-The manifest is the cache's index: ``cache info`` (:meth:`ResultCache.
-stats`) and sweep resume (:meth:`ResultCache.manifest_keys`) fold the
-journal instead of globbing and stat-ing every entry file, so their
-cost is one small file read per sweep regardless of entry count.
+    <root>/<sweep-name>/<key[:2]>/<key>.json
+    <root>/<sweep-name>/<key[:2]>/MANIFEST.jsonl
+
+where ``key`` is the :func:`repro.runner.hashing.point_key` digest.
+The two-hex-character prefix bounds every directory: a sweep directory
+holds at most 256 shard directories however many entries it accrues,
+so million-point campaigns never produce a directory listing that
+chokes tooling (the bounded fan-out pattern of large content stores).
+Each shard carries its own append-only **manifest** journalling every
+entry written or healed away inside it.  Entries embed the key and
+parameters that produced them, so a cache directory is self-describing
+and human-readable.  (Entries may contain ``NaN`` tokens — Python's
+JSON dialect — where an experiment reports a missing paper value, so
+strict-JSON consumers need ``parse_constant``.)
+
+**Legacy flat layouts stay readable.**  Sweeps written before sharding
+kept ``<sweep>/<key>.json`` files indexed by a single
+``<sweep>/MANIFEST.jsonl``: reads fall through to the flat location,
+index reads merge the legacy fold under the shard folds (the shard
+layer wins per key), and ``python -m repro cache migrate`` moves a
+flat sweep into shards wholesale — entry files via atomic renames,
+manifest records (including quarantines and batch stamps) re-homed to
+their shards — after which the legacy manifest is retired.
+
+The manifests are the cache's index: ``cache info``
+(:meth:`ResultCache.stats`) and sweep resume
+(:meth:`ResultCache.manifest_keys`) fold the journals instead of
+globbing and stat-ing every entry file, so their cost is
+O(shards-touched), not O(entries); per-file folds are additionally
+memoized on ``(mtime_ns, size)`` — like ``code_version()`` — so
+repeated index reads of an unchanged shard cost one ``stat``.
 Journal records are single JSON lines::
 
     {"op": "put", "key": "<digest>", "bytes": N, "created": T}
@@ -30,6 +49,13 @@ A later successful ``put`` of the same key clears its quarantine
 record (the fold is last-op-wins), which is exactly what a
 ``--retry-quarantined`` run does when the point finally computes.
 
+**Bulk I/O.**  :meth:`ResultCache.put_many` stores a resolved batch —
+one atomic entry write per point, then a *single* ``O_APPEND`` write
+and a *single* ``fsync`` per touched shard manifest, instead of one
+append per point; :meth:`ResultCache.get_many` is the bulk read.  A
+256-point vectorized batch therefore costs at most a handful of
+manifest syncs however it hashes.
+
 Robustness rules:
 
 * entry writes are atomic (temp file + :func:`os.replace`), so a killed
@@ -37,21 +63,25 @@ Robustness rules:
 * unreadable, truncated, or key-mismatched entries are treated as
   misses and deleted (with a ``del`` journal record), so a corrupted
   cache heals itself on the next run;
-* manifest appends are single ``O_APPEND`` writes of one line, safe
-  under concurrent writers;
+* manifest appends are single ``O_APPEND`` writes, safe under
+  concurrent writers;
 * a missing, torn, or corrupt manifest — or a pre-manifest legacy
   sweep directory — is rebuilt from the entry files themselves
-  (:meth:`ResultCache.rebuild_manifest`): the entry files are always
-  the ground truth, the manifest only an index over them.  The manifest
-  being advisory is also what makes it resume-safe: a stale listing is
-  re-validated by :meth:`get` before anything trusts it;
+  (:meth:`ResultCache.rebuild_manifest`), shard by shard: the entry
+  files are always the ground truth, the manifests only an index over
+  them.  The manifests being advisory is also what makes them
+  resume-safe (a stale listing is re-validated by :meth:`get` before
+  anything trusts it) and what makes ``cache migrate`` crash-safe
+  (a killed migration leaves every entry file in exactly one readable
+  location; re-running completes it);
 * a journal dominated by dead history (overwritten puts, ``del``
   records, cleared quarantines) is **compacted** down to its fold —
   explicitly via ``python -m repro cache compact``
   (:meth:`ResultCache.compact`), or opportunistically whenever an
-  index read notices the imbalance.  Compaction writes the new journal
-  to a temp file and atomically renames it into place, so a crash
-  mid-compaction leaves the old journal intact, never a torn hybrid.
+  index read notices the imbalance.  Compaction rewrites one shard
+  journal at a time to a temp file and atomically renames it into
+  place, so a crash mid-compaction leaves the old journal intact,
+  never a torn hybrid.
 """
 
 from __future__ import annotations
@@ -63,7 +93,9 @@ import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, Mapping, Set, Tuple
+from typing import (
+    Any, Container, Dict, Iterable, Iterator, List, Mapping, Set, Tuple,
+)
 
 from repro.runner.hashing import point_key
 
@@ -71,6 +103,10 @@ __all__ = ["CacheStats", "ResultCache", "cached_call", "default_cache_dir"]
 
 _FORMAT = 1  # bump to invalidate every existing entry
 _MANIFEST = "MANIFEST.jsonl"
+
+#: A folded journal: ``(live {key: bytes}, quarantine {key: record},
+#: records-in-journal, batch-stamped live keys)``.
+_Fold = Tuple[Dict[str, int], Dict[str, dict], int, Set[str]]
 
 
 def _cache_disabled() -> bool:
@@ -91,6 +127,67 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro-sweeps"
 
 
+def shard_prefix(key: str) -> str:
+    """The shard directory name for ``key`` — its first two characters.
+
+    ``point_key`` digests are 64 hex characters, giving 256 shards; the
+    degenerate short-key case still lands in a well-formed directory.
+    """
+    return key[:2] if len(key) >= 2 else (key + "__")[:2]
+
+
+def _fold_lines(text: str) -> _Fold | None:
+    """Fold journal text into an index, ``None`` on any unparsable line
+    (torn concurrent write, manual edit) — the caller rebuilds from the
+    entry files."""
+    live: Dict[str, int] = {}
+    quar: Dict[str, dict] = {}
+    batch_keys: Set[str] = set()
+    records = 0
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+            op, key = record["op"], record["key"]
+        except (ValueError, KeyError, TypeError):
+            return None
+        records += 1
+        if op == "put":
+            live[key] = int(record.get("bytes", 0))
+            quar.pop(key, None)  # a success clears the quarantine
+            if record.get("batch"):
+                batch_keys.add(key)
+            else:
+                batch_keys.discard(key)  # last put wins
+        elif op == "del":
+            live.pop(key, None)
+            batch_keys.discard(key)
+        elif op == "quarantine":
+            quar[key] = record
+        else:
+            return None
+    return live, quar, records, batch_keys
+
+
+def _fold_records(fold: _Fold) -> str:
+    """Serialise a fold back to minimal journal text (compaction,
+    rebuild, migration all converge here so the formats agree)."""
+    live, quar, _, batch_keys = fold
+    return "".join(
+        json.dumps(
+            {"op": "put", "key": key, "bytes": size, "batch": True}
+            if key in batch_keys
+            else {"op": "put", "key": key, "bytes": size},
+            separators=(",", ":"),
+        ) + "\n"
+        for key, size in sorted(live.items())
+    ) + "".join(
+        json.dumps(record, separators=(",", ":")) + "\n"
+        for _, record in sorted(quar.items())
+    )
+
+
 @dataclass(frozen=True)
 class CacheStats:
     """Aggregate numbers for ``python -m repro cache info``.
@@ -101,7 +198,9 @@ class CacheStats:
     last ``put`` came from the vectorized batch path (the ``"batch":
     true`` manifest stamp — see :meth:`ResultCache.put`), with
     ``batch_per_sweep`` the per-namespace breakdown; everything else
-    was computed by the scalar per-point path.
+    was computed by the scalar per-point path.  ``shards_per_sweep``
+    reports each namespace's shard-directory count (0 for a purely
+    legacy flat sweep) so fan-out is visible from ``cache info``.
     """
 
     entries: int
@@ -111,6 +210,7 @@ class CacheStats:
     per_sweep: Tuple[Tuple[str, int, int], ...] = ()
     batch_entries: int = 0
     batch_per_sweep: Tuple[Tuple[str, int], ...] = ()
+    shards_per_sweep: Tuple[Tuple[str, int], ...] = ()
 
 
 class ResultCache:
@@ -118,42 +218,181 @@ class ResultCache:
 
     def __init__(self, root: Path | str | None = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        # str(path) -> ((mtime_ns, size), fold): index reads of an
+        # unchanged journal cost one stat (invalidated explicitly by
+        # every write path as well, belt and braces).
+        self._fold_memo: Dict[str, Tuple[Tuple[int, int], _Fold]] = {}
+        # sweep -> whether the flat legacy layer may hold entries; None
+        # until first probed.  Lets the hot put/get paths skip flat-file
+        # checks entirely for born-sharded sweeps.
+        self._flat_possible: Dict[str, bool] = {}
 
     def path_for(self, sweep: str, key: str) -> Path:
-        """Entry location for ``key`` in sweep namespace ``sweep``."""
+        """Canonical (sharded) entry location for ``key`` in ``sweep``."""
+        return self.root / sweep / shard_prefix(key) / f"{key}.json"
+
+    def flat_path_for(self, sweep: str, key: str) -> Path:
+        """The pre-sharding flat location, still honoured by reads."""
         return self.root / sweep / f"{key}.json"
 
     def manifest_path(self, sweep: str) -> Path:
-        """The sweep's journal file."""
+        """The sweep's *legacy* (flat-layout) journal file."""
         return self.root / sweep / _MANIFEST
+
+    def shard_manifest_path(self, sweep: str, prefix: str) -> Path:
+        """The journal of one shard directory."""
+        return self.root / sweep / prefix / _MANIFEST
+
+    # -- layer probing ---------------------------------------------------
+
+    def _has_flat_layer(self, sweep: str) -> bool:
+        """Whether the sweep may hold flat-layout entries (memoized).
+
+        True when the legacy manifest exists or any flat ``*.json``
+        does.  A ``False`` verdict is sticky for this handle's lifetime
+        — new writes are always sharded, so the flat layer only ever
+        shrinks (``migrate``/``clear`` reset it explicitly).
+        """
+        cached = self._flat_possible.get(sweep)
+        if cached is not None:
+            return cached
+        target = self.root / sweep
+        present = False
+        try:
+            if self.manifest_path(sweep).exists():
+                present = True
+            else:
+                present = any(
+                    child.suffix == ".json"
+                    for child in target.iterdir()
+                )
+        except OSError:
+            present = False
+        self._flat_possible[sweep] = present
+        return present
+
+    def _shard_dirs(self, sweep: str) -> List[Path]:
+        """The sweep's shard directories (two-character children)."""
+        target = self.root / sweep
+        try:
+            return sorted(
+                child for child in target.iterdir()
+                if len(child.name) == 2 and child.is_dir()
+            )
+        except OSError:
+            return []
 
     # -- entries --------------------------------------------------------
 
     def get(self, sweep: str, key: str) -> Tuple[Any, bool]:
         """Look up ``key``; returns ``(value, hit)``.
 
-        A malformed entry (truncated write, manual tampering, format
+        Reads the sharded location first, then the legacy flat one.  A
+        malformed entry (truncated write, manual tampering, format
         drift) is deleted and reported as a miss — never an exception.
         """
-        path = self.path_for(sweep, key)
+        prefix = shard_prefix(key)
+        path = self.root / sweep / prefix / f"{key}.json"
+        flat = False
         try:
-            entry = json.loads(path.read_text())
+            text = path.read_text()
+        except FileNotFoundError:
+            if not self._has_flat_layer(sweep):
+                return None, False
+            path = self.root / sweep / f"{key}.json"
+            flat = True
+            try:
+                text = path.read_text()
+            except FileNotFoundError:
+                return None, False
+            except OSError:
+                return self._heal_entry(sweep, key, path, flat)
+        except OSError:
+            return self._heal_entry(sweep, key, path, flat)
+        try:
+            entry = json.loads(text)
             if entry["format"] != _FORMAT or entry["key"] != key:
                 raise ValueError("stale or mismatched cache entry")
             return entry["result"], True
-        except FileNotFoundError:
-            return None, False
-        except (OSError, ValueError, KeyError, TypeError):
-            try:
-                path.unlink(missing_ok=True)
-                # Record the heal — but never *create* a manifest out of
-                # a lone del record: a legacy directory must keep looking
-                # index-less so the next read rebuilds it in full.
-                if self.manifest_path(sweep).exists():
-                    self._append_manifest(sweep, {"op": "del", "key": key})
-            except OSError:
-                pass  # e.g. a read-only shared cache: miss, don't crash
-            return None, False
+        except (ValueError, KeyError, TypeError):
+            return self._heal_entry(sweep, key, path, flat)
+
+    def _heal_entry(
+        self, sweep: str, key: str, path: Path, flat: bool
+    ) -> Tuple[Any, bool]:
+        """Delete a bad entry and journal the del in its own layer."""
+        try:
+            path.unlink(missing_ok=True)
+            # Record the heal — but never *create* a manifest out of a
+            # lone del record: an index-less directory must keep looking
+            # index-less so the next read rebuilds it in full.
+            manifest = (
+                self.manifest_path(sweep)
+                if flat
+                else self.shard_manifest_path(sweep, shard_prefix(key))
+            )
+            if manifest.exists():
+                self._append_lines(
+                    manifest,
+                    json.dumps({"op": "del", "key": key},
+                               separators=(",", ":")) + "\n",
+                )
+        except OSError:
+            pass  # e.g. a read-only shared cache: miss, don't crash
+        return None, False
+
+    def _entry_blob(
+        self, sweep: str, key: str, params: Mapping[str, Any], value: Any,
+        batch: bool,
+    ) -> bytes:
+        record: Dict[str, Any] = {
+            "format": _FORMAT,
+            "key": key,
+            "sweep": sweep,
+            "params": dict(params),
+            "created": time.time(),
+            "result": value,
+        }
+        if batch:
+            record["batch"] = True
+        return json.dumps(record, indent=None).encode("utf-8")
+
+    def _write_entry(self, path: Path, data: bytes) -> None:
+        """Atomic entry write: temp file in the target dir + rename."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            Path(tmp).unlink(missing_ok=True)
+            raise
+
+    def _retire_flat_duplicate(self, sweep: str, key: str) -> None:
+        """Drop a flat-layout copy superseded by a sharded write.
+
+        The shard layer wins every merged fold, so the flat file is
+        dead weight; a ``del`` record keeps the legacy journal's fold
+        truthful without a rebuild.
+        """
+        if not self._has_flat_layer(sweep):
+            return
+        flat = self.root / sweep / f"{key}.json"
+        try:
+            flat.unlink()
+        except OSError:
+            return  # absent (the common case) or unwritable
+        try:
+            manifest = self.manifest_path(sweep)
+            if manifest.exists():
+                self._append_lines(
+                    manifest,
+                    json.dumps({"op": "del", "key": key},
+                               separators=(",", ":")) + "\n",
+                )
+        except OSError:
+            pass
 
     def put(
         self,
@@ -176,37 +415,13 @@ class ResultCache:
         the index from entry *stats* without opening files, so a rebuilt
         journal reports every entry as scalar.)
         """
-        record: Dict[str, Any] = {
-            "format": _FORMAT,
-            "key": key,
-            "sweep": sweep,
-            "params": dict(params),
-            "created": time.time(),
-            "result": value,
-        }
-        if batch:
-            record["batch"] = True
-        blob = json.dumps(record, indent=None)
-        data = blob.encode("utf-8")
-        path = self.path_for(sweep, key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        data = self._entry_blob(sweep, key, params, value, batch)
+        prefix = shard_prefix(key)
+        path = self.root / sweep / prefix / f"{key}.json"
+        self._write_entry(path, data)
+        self._retire_flat_duplicate(sweep, key)
         try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(data)
-            os.replace(tmp, path)
-        except BaseException:
-            Path(tmp).unlink(missing_ok=True)
-            raise
-        try:
-            manifest = self.manifest_path(sweep)
-            if not manifest.exists() and any(
-                p.suffix == ".json" and p.name != f"{key}.json"
-                for p in path.parent.iterdir()
-            ):
-                # First write into a pre-manifest (legacy) sweep
-                # directory: index the existing entries too.
-                self.rebuild_manifest(sweep)
+            if self._index_preexisting_shard(sweep, prefix, key):
                 return
             put_record: Dict[str, Any] = {
                 "op": "put", "key": key, "bytes": len(data),
@@ -214,93 +429,287 @@ class ResultCache:
             }
             if batch:
                 put_record["batch"] = True
-            self._append_manifest(sweep, put_record)
+            self._append_manifest(sweep, put_record, prefix)
         except OSError:
             pass  # entry files are the ground truth; the index can wait
 
+    def put_many(
+        self,
+        sweep: str,
+        entries: Iterable[Tuple[str, Mapping[str, Any], Any]],
+        batch: bool = False,
+    ) -> int:
+        """Store ``(key, params, value)`` triples with bulk index I/O.
+
+        Every entry file is still written atomically on its own, but
+        the journal cost collapses: the put records are grouped by
+        shard and each touched shard manifest receives **one**
+        ``O_APPEND`` write followed by **one** ``fsync`` — a resolved
+        256-point batch costs a handful of syncs, not 256.  Returns the
+        number of entries stored.
+        """
+        by_shard: Dict[str, List[str]] = {}
+        pending: Dict[str, set] = {}
+        stored = 0
+        for key, params, value in entries:
+            data = self._entry_blob(sweep, key, params, value, batch)
+            prefix = shard_prefix(key)
+            path = self.root / sweep / prefix / f"{key}.json"
+            self._write_entry(path, data)
+            self._retire_flat_duplicate(sweep, key)
+            record: Dict[str, Any] = {
+                "op": "put", "key": key, "bytes": len(data),
+                "created": time.time(),
+            }
+            if batch:
+                record["batch"] = True
+            mine = pending.setdefault(prefix, set())
+            try:
+                # A rebuild may index this entry from its file (without
+                # the batch stamp); the queued record still appends and
+                # wins under last-op-fold, so queue unconditionally.
+                self._index_preexisting_shard(sweep, prefix, key, mine)
+            except OSError:
+                pass
+            by_shard.setdefault(prefix, []).append(
+                json.dumps(record, separators=(",", ":")) + "\n"
+            )
+            mine.add(key)
+            stored += 1
+        for prefix, lines in by_shard.items():
+            try:
+                self._append_lines(
+                    self.shard_manifest_path(sweep, prefix),
+                    "".join(lines),
+                    fsync=True,
+                )
+            except OSError:
+                pass  # entry files are the ground truth
+        return stored
+
+    def get_many(self, sweep: str, keys: Iterable[str]) -> Dict[str, Any]:
+        """Bulk lookup; returns ``{key: value}`` for the hits only.
+
+        Misses (and healed-away corrupt entries) are simply absent, so
+        callers resolve a whole resume wave with one call and compute
+        the complement.
+        """
+        hits: Dict[str, Any] = {}
+        for key in keys:
+            value, hit = self.get(sweep, key)
+            if hit:
+                hits[key] = value
+        return hits
+
+    def _index_preexisting_shard(
+        self, sweep: str, prefix: str, key: str, ignore: Container[str] = ()
+    ) -> bool:
+        """Heal an index-less shard that already holds *other* entries.
+
+        First write into a shard directory whose manifest vanished (or
+        a crashed migration's half-moved shard): rebuild the shard's
+        journal from its files — which indexes the entry just written
+        too, so the caller must skip its own append.  Returns True when
+        that happened.  ``put_many`` passes the keys it has already
+        written this call as ``ignore`` — its own not-yet-journaled
+        entries must not masquerade as a pre-existing index-less shard.
+        """
+        if self.shard_manifest_path(sweep, prefix).exists():
+            return False
+        shard_dir = self.root / sweep / prefix
+        if any(
+            p.suffix == ".json"
+            and p.name != f"{key}.json"
+            and p.stem not in ignore
+            for p in shard_dir.iterdir()
+        ):
+            self._rebuild_shard(sweep, prefix)
+            return True
+        return False
+
     # -- manifest -------------------------------------------------------
 
-    def _append_manifest(self, sweep: str, record: Mapping[str, Any]) -> None:
-        """Append one journal line with a single atomic ``O_APPEND`` write."""
-        line = json.dumps(record, separators=(",", ":")) + "\n"
-        path = self.manifest_path(sweep)
+    def _append_lines(
+        self, path: Path, lines: str, fsync: bool = False
+    ) -> None:
+        """Append journal text with a single atomic ``O_APPEND`` write."""
         fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
         try:
-            os.write(fd, line.encode())
+            os.write(fd, lines.encode())
+            if fsync:
+                os.fsync(fd)
         finally:
             os.close(fd)
+        self._fold_memo.pop(str(path), None)
 
-    def _read_manifest(
-        self, sweep: str
-    ) -> Tuple[Dict[str, int], Dict[str, dict], int, Set[str]] | None:
-        """Fold the journal into ``({key: bytes}, {key: quarantine},
-        records, batch_keys)`` — ``records`` counting every journal line
-        so callers can spot a journal dominated by dead history,
-        ``batch_keys`` the live keys whose last ``put`` carried the
-        batch-provenance stamp — or ``None`` when the manifest is absent
-        or any line is unparsable (torn concurrent write, manual edit) —
-        the caller rebuilds from entry files."""
+    def _append_manifest(
+        self, sweep: str, record: Mapping[str, Any], prefix: str | None = None
+    ) -> None:
+        """Append one journal record — to a shard's manifest when
+        ``prefix`` is given, to the legacy flat manifest otherwise."""
+        path = (
+            self.shard_manifest_path(sweep, prefix)
+            if prefix is not None
+            else self.manifest_path(sweep)
+        )
+        self._append_lines(
+            path, json.dumps(record, separators=(",", ":")) + "\n"
+        )
+
+    def _fold_file(self, path: Path) -> _Fold | None:
+        """Memoized fold of one journal file.
+
+        ``None`` when the file is missing or torn.  The memo key is the
+        ``(mtime_ns, size)`` snapshot — the ``code_version()`` trick —
+        so an unchanged journal re-folds for the price of a ``stat``;
+        every in-process write additionally drops the memo outright.
+        """
+        spath = str(path)
         try:
-            text = self.manifest_path(sweep).read_text()
+            st = os.stat(path)
+        except OSError:
+            self._fold_memo.pop(spath, None)
+            return None
+        sig = (st.st_mtime_ns, st.st_size)
+        memo = self._fold_memo.get(spath)
+        if memo is not None and memo[0] == sig:
+            return memo[1]
+        try:
+            text = path.read_text()
         except OSError:
             return None
+        fold = _fold_lines(text)
+        if fold is None:
+            self._fold_memo.pop(spath, None)
+        else:
+            self._fold_memo[spath] = (sig, fold)
+        return fold
+
+    def _fold_layer(
+        self, sweep: str, prefix: str | None, heal: bool, compact: bool
+    ) -> _Fold:
+        """One layer's fold — legacy flat (``prefix=None``) or a shard.
+
+        A missing/torn journal is rebuilt from that layer's entry files
+        when ``heal``; ``compact`` additionally folds away journals
+        dominated by dead history.  Always returns a (possibly empty)
+        fold — on a read-only store the derived index is served without
+        being persisted.
+        """
+        path = (
+            self.shard_manifest_path(sweep, prefix)
+            if prefix is not None
+            else self.manifest_path(sweep)
+        )
+        fold = self._fold_file(path)
+        if fold is None:
+            if not heal:
+                return {}, {}, 0, set()
+            if prefix is not None:
+                live = self._rebuild_shard(sweep, prefix)
+            else:
+                live = self._rebuild_flat(sweep)
+            fold = self._fold_file(path)
+            if fold is None:
+                # Could not persist (read-only store): serve the
+                # derived index; quarantine lines, if any, are gone
+                # with the unreadable journal.
+                return live, {}, len(live), set()
+            return fold
+        if compact and self._wants_compaction(fold):
+            self._compact_layer(sweep, prefix)
+            return self._fold_file(path) or fold
+        return fold
+
+    def _folded_sweep(
+        self, sweep: str, heal: bool = True, compact: bool = False
+    ) -> _Fold:
+        """The sweep's merged index: legacy fold under the shard folds.
+
+        The shard layer wins per key (a sharded rewrite retires the
+        flat copy), quarantines lose to a live entry in any layer, and
+        ``records`` sums every journal line so callers can see dead
+        weight.  Cost is O(shards-touched): one directory listing plus
+        one (memoized) fold per journal present.
+        """
+        target = self.root / sweep
+        if not target.is_dir():
+            return {}, {}, 0, set()
         live: Dict[str, int] = {}
         quar: Dict[str, dict] = {}
         batch_keys: Set[str] = set()
         records = 0
-        for line in text.splitlines():
-            if not line.strip():
-                continue
-            try:
-                record = json.loads(line)
-                op, key = record["op"], record["key"]
-            except (ValueError, KeyError, TypeError):
-                return None
-            records += 1
-            if op == "put":
-                live[key] = int(record.get("bytes", 0))
-                quar.pop(key, None)  # a success clears the quarantine
-                if record.get("batch"):
-                    batch_keys.add(key)
-                else:
-                    batch_keys.discard(key)  # last put wins
-            elif op == "del":
-                live.pop(key, None)
-                batch_keys.discard(key)
-            elif op == "quarantine":
-                quar[key] = record
-            else:
-                return None
+        if self._has_flat_layer(sweep):
+            flive, fquar, frecords, fbatch = self._fold_layer(
+                sweep, None, heal, compact
+            )
+            live.update(flive)
+            quar.update(fquar)
+            batch_keys |= fbatch
+            records += frecords
+        for shard in self._shard_dirs(sweep):
+            slive, squar, srecords, sbatch = self._fold_layer(
+                sweep, shard.name, heal, compact
+            )
+            for key in slive:
+                batch_keys.discard(key)  # the shard layer's verdict wins
+            live.update(slive)
+            quar.update(squar)
+            batch_keys |= sbatch
+            records += srecords
+        for key in live:
+            quar.pop(key, None)  # a live entry outranks any quarantine
         return live, quar, records, batch_keys
 
-    def rebuild_manifest(self, sweep: str) -> Dict[str, int]:
-        """Re-derive the sweep's index from its entry files.
+    def _rebuild_flat(self, sweep: str) -> Dict[str, int]:
+        """Re-derive the legacy flat journal from the flat entry files.
 
-        The self-healing path: keys are the entry filenames and sizes
-        come from ``stat``, so no entry is opened.  Quarantine records
-        exist *only* in the journal, so the rebuild salvages every
-        parsable quarantine line from the old (possibly torn) manifest —
-        a single corrupt line must not amnesty a known-permanent
-        failure.  The new manifest is written atomically (temp file +
-        replace); a concurrent append racing the replace loses at most
-        its own record, which the next ``put`` of that key — or the
-        next rebuild — restores.  On a read-only cache the derived
-        index is returned without being persisted (re-derived on every
-        read — correct, just not O(1)).
+        Keys are the entry filenames and sizes come from ``stat``, so
+        no entry is opened.  Quarantine records exist *only* in the
+        journal, so every parsable quarantine line of the old (possibly
+        torn) manifest is salvaged — a single corrupt line must not
+        amnesty a known-permanent failure.  The new manifest is written
+        atomically; on a read-only cache the derived index is returned
+        without being persisted.
         """
         target = self.root / sweep
         live: Dict[str, int] = {}
-        if target.is_dir():
-            for path in target.glob("*.json"):
-                try:
-                    live[path.stem] = path.stat().st_size
-                except OSError:
-                    continue  # vanished mid-scan
-        else:
+        if not target.is_dir():
             return live
+        for path in target.glob("*.json"):
+            try:
+                live[path.stem] = path.stat().st_size
+            except OSError:
+                continue  # vanished mid-scan
+        self._write_rebuilt(
+            self.manifest_path(sweep), target, live
+        )
+        self._flat_possible.pop(sweep, None)
+        return live
+
+    def _rebuild_shard(self, sweep: str, prefix: str) -> Dict[str, int]:
+        """Re-derive one shard's journal from its entry files."""
+        target = self.root / sweep / prefix
+        live: Dict[str, int] = {}
+        if not target.is_dir():
+            return live
+        for path in target.glob("*.json"):
+            try:
+                live[path.stem] = path.stat().st_size
+            except OSError:
+                continue  # vanished mid-scan
+        self._write_rebuilt(
+            self.shard_manifest_path(sweep, prefix), target, live
+        )
+        return live
+
+    def _write_rebuilt(
+        self, manifest: Path, target: Path, live: Dict[str, int]
+    ) -> None:
+        """Atomically persist a rebuilt journal, salvaging quarantines."""
         quar: Dict[str, dict] = {}
         try:
-            old = self.manifest_path(sweep).read_text()
+            old = manifest.read_text()
         except OSError:
             old = ""
         for line in old.splitlines():
@@ -315,106 +724,231 @@ class ResultCache:
                 quar.pop(key, None)
         for key in live:
             quar.pop(key, None)  # an entry file on disk outranks it
-        lines = "".join(
-            json.dumps({"op": "put", "key": key, "bytes": size},
-                       separators=(",", ":")) + "\n"
-            for key, size in sorted(live.items())
-        ) + "".join(
-            json.dumps(record, separators=(",", ":")) + "\n"
-            for _, record in sorted(quar.items())
-        )
+        lines = _fold_records((live, quar, 0, set()))
         try:
             fd, tmp = tempfile.mkstemp(dir=target, suffix=".tmp")
         except OSError:
-            return live  # e.g. a read-only shared cache
+            return  # e.g. a read-only shared cache
         try:
             with os.fdopen(fd, "w") as handle:
                 handle.write(lines)
-            os.replace(tmp, self.manifest_path(sweep))
+            os.replace(tmp, manifest)
         except OSError:
             Path(tmp).unlink(missing_ok=True)
         except BaseException:
             Path(tmp).unlink(missing_ok=True)
             raise
+        self._fold_memo.pop(str(manifest), None)
+
+    def rebuild_manifest(self, sweep: str) -> Dict[str, int]:
+        """Re-derive every journal of ``sweep`` from its entry files.
+
+        The self-healing path, now per layer: the legacy flat journal is
+        rebuilt whenever the flat layer exists, and each shard journal
+        from its own directory.  Returns the merged live index.  A
+        concurrent append racing a rebuild loses at most its own
+        record, which the next ``put`` of that key — or the next
+        rebuild — restores.
+        """
+        target = self.root / sweep
+        if not target.is_dir():
+            return {}
+        live: Dict[str, int] = {}
+        if self._has_flat_layer(sweep) or self.manifest_path(sweep).exists():
+            live.update(self._rebuild_flat(sweep))
+        elif not self._shard_dirs(sweep):
+            # Entry-less, shard-less directory: persist an (empty)
+            # index so the heal is visible, matching the flat era.
+            live.update(self._rebuild_flat(sweep))
+        for shard in self._shard_dirs(sweep):
+            live.update(self._rebuild_shard(sweep, shard.name))
         return live
 
     def manifest(self, sweep: str) -> Dict[str, int]:
         """The sweep's live index, ``{key: bytes}`` (healed if needed).
 
-        Opportunistically compacts a journal whose dead history (puts
-        overwritten, ``del`` records, cleared quarantines) outnumbers
-        its live entries, so a churned sweep's index read stays one
-        small file no matter how long its history grew.
+        Opportunistically compacts any journal whose dead history
+        (puts overwritten, ``del`` records, cleared quarantines)
+        outnumbers its live entries, so a churned sweep's index read
+        stays O(shards-touched) no matter how long its history grew.
         """
-        folded = self._read_manifest(sweep)
-        if folded is None:
-            return self.rebuild_manifest(sweep)
-        live, quar, records, _ = folded
-        if self._wants_compaction(live, quar, records):
-            self.compact(sweep)
+        live, _, _, _ = self._folded_sweep(sweep, heal=True, compact=True)
         return live
 
     @staticmethod
-    def _wants_compaction(
-        live: Mapping[str, int], quar: Mapping[str, dict], records: int
-    ) -> bool:
+    def _wants_compaction(fold: _Fold) -> bool:
         """Whether a folded journal is worth rewriting: more dead
-        records than live ones, with a small floor so tiny sweeps never
-        churn."""
+        records than live ones, with a small floor so tiny journals
+        never churn."""
+        live, quar, records, _ = fold
         dead = records - len(live) - len(quar)
         return dead > max(len(live) + len(quar), 4)
 
-    def compact(self, sweep: str) -> int:
-        """Rewrite the sweep's journal down to its fold; returns the
-        number of dead records dropped.
-
-        Crash-safe by construction: the compacted journal is written to
-        a temp file and atomically renamed over the old one, so a crash
-        at any instant leaves either the full history or the complete
-        fold — never a torn hybrid (the torn-compaction recovery
-        guarantee).  An append racing the rename loses at most its own
-        record, which the next ``put`` of that key — or a rebuild —
-        restores; entry files stay the ground truth throughout.  A
-        missing or torn journal is healed through
-        :meth:`rebuild_manifest` instead (already minimal).  Best-effort
-        on read-only caches: the journal is simply left as it was.
-        """
-        folded = self._read_manifest(sweep)
-        if folded is None:
-            self.rebuild_manifest(sweep)
+    def _compact_layer(self, sweep: str, prefix: str | None) -> int:
+        """Rewrite one journal down to its fold; returns dead records
+        dropped.  Crash-safe: temp file + atomic rename, so a crash at
+        any instant leaves either the full history or the complete fold
+        — never a torn hybrid.  Best-effort on read-only caches."""
+        path = (
+            self.shard_manifest_path(sweep, prefix)
+            if prefix is not None
+            else self.manifest_path(sweep)
+        )
+        fold = self._fold_file(path)
+        if fold is None:
             return 0
-        live, quar, records, batch_keys = folded
+        live, quar, records, _ = fold
         dead = records - len(live) - len(quar)
         if dead <= 0:
             return 0
-        lines = "".join(
-            json.dumps(
-                {"op": "put", "key": key, "bytes": size, "batch": True}
-                if key in batch_keys
-                else {"op": "put", "key": key, "bytes": size},
-                separators=(",", ":"),
-            ) + "\n"
-            for key, size in sorted(live.items())
-        ) + "".join(
-            json.dumps(record, separators=(",", ":")) + "\n"
-            for _, record in sorted(quar.items())
-        )
-        target = self.root / sweep
+        target = path.parent
         try:
             fd, tmp = tempfile.mkstemp(dir=target, suffix=".tmp")
         except OSError:
             return 0  # e.g. a read-only shared cache
         try:
             with os.fdopen(fd, "w") as handle:
-                handle.write(lines)
-            os.replace(tmp, self.manifest_path(sweep))
+                handle.write(_fold_records(fold))
+            os.replace(tmp, path)
         except OSError:
             Path(tmp).unlink(missing_ok=True)
             return 0
         except BaseException:
             Path(tmp).unlink(missing_ok=True)
             raise
+        self._fold_memo.pop(str(path), None)
         return dead
+
+    def compact(self, sweep: str) -> int:
+        """Fold dead history away, journal by journal; returns the
+        total number of dead records dropped.
+
+        Each layer (the legacy flat journal and every shard journal)
+        is rewritten independently and atomically, so a crash
+        mid-compaction affects at most the one journal being renamed —
+        and that one is either fully old or fully folded (the
+        torn-compaction recovery guarantee).  Missing or torn journals
+        are healed through :meth:`rebuild_manifest` instead (already
+        minimal).
+        """
+        target = self.root / sweep
+        if not target.is_dir():
+            return 0
+        dead = 0
+        rebuilt = False
+        if self._has_flat_layer(sweep):
+            if self._fold_file(self.manifest_path(sweep)) is None:
+                self._rebuild_flat(sweep)
+                rebuilt = True
+            else:
+                dead += self._compact_layer(sweep, None)
+        for shard in self._shard_dirs(sweep):
+            if self._fold_file(
+                self.shard_manifest_path(sweep, shard.name)
+            ) is None:
+                self._rebuild_shard(sweep, shard.name)
+                rebuilt = True
+            else:
+                dead += self._compact_layer(sweep, shard.name)
+        del rebuilt  # rebuilds count no dead records, matching the flat era
+        return dead
+
+    # -- migration ------------------------------------------------------
+
+    def migrate(self, sweep: str | None = None) -> Dict[str, int]:
+        """Move legacy flat sweeps into the sharded layout.
+
+        For each sweep (or just ``sweep``): every flat entry file is
+        renamed into its shard (atomic ``os.replace``), its journal
+        record — including the batch-provenance stamp — is re-homed to
+        the shard manifest, quarantine records follow their key's
+        shard, and the legacy manifest is removed once empty of
+        meaning.  Returns ``{sweep: entries-moved}`` (quarantine-only
+        re-homes count 0 but still retire the journal).
+
+        Crash-safe by the same advisory-index argument as everything
+        else: entry files move one atomic rename at a time, reads
+        consult both layouts, and re-running the migration finishes
+        whatever a crash left behind.  A sweep with no flat layer is a
+        no-op.
+        """
+        if sweep is None:
+            moved: Dict[str, int] = {}
+            if not self.root.is_dir():
+                return moved
+            for child in sorted(self.root.iterdir()):
+                if child.is_dir():
+                    result = self.migrate(child.name)
+                    moved.update(result)
+            return moved
+
+        target = self.root / sweep
+        if not target.is_dir() or not self._has_flat_layer(sweep):
+            return {}
+        # Heal first so the fold below is complete (pre-manifest legacy
+        # directories, torn journals).
+        if self._fold_file(self.manifest_path(sweep)) is None:
+            self._rebuild_flat(sweep)
+        flive, fquar, _, fbatch = self._fold_layer(
+            sweep, None, heal=True, compact=False
+        )
+        by_shard: Dict[str, List[str]] = {}
+        count = 0
+        for path in sorted(target.glob("*.json")):
+            key = path.stem
+            prefix = shard_prefix(key)
+            dest = target / prefix / f"{key}.json"
+            try:
+                if dest.exists():
+                    # A sharded rewrite already superseded this copy.
+                    path.unlink(missing_ok=True)
+                    continue
+                dest.parent.mkdir(parents=True, exist_ok=True)
+                try:
+                    size = path.stat().st_size
+                except OSError:
+                    continue  # vanished mid-walk
+                os.replace(path, dest)
+            except OSError:
+                continue  # unwritable: leave it readable where it is
+            record: Dict[str, Any] = {
+                "op": "put", "key": key,
+                "bytes": flive.get(key, size),
+            }
+            if key in fbatch:
+                record["batch"] = True
+            by_shard.setdefault(prefix, []).append(
+                json.dumps(record, separators=(",", ":")) + "\n"
+            )
+            count += 1
+        for key, record in sorted(fquar.items()):
+            prefix = shard_prefix(key)
+            shard_live = self._fold_layer(
+                sweep, prefix, heal=True, compact=False
+            )[0]
+            if key in shard_live:
+                continue  # a sharded success already cleared it
+            by_shard.setdefault(prefix, []).append(
+                json.dumps(record, separators=(",", ":")) + "\n"
+            )
+        for prefix, lines in by_shard.items():
+            try:
+                shard_dir = target / prefix
+                shard_dir.mkdir(parents=True, exist_ok=True)
+                self._append_lines(
+                    self.shard_manifest_path(sweep, prefix),
+                    "".join(lines),
+                    fsync=True,
+                )
+            except OSError:
+                pass  # entry files are already in place — index heals later
+        try:
+            self.manifest_path(sweep).unlink(missing_ok=True)
+        except OSError:
+            pass
+        self._fold_memo.pop(str(self.manifest_path(sweep)), None)
+        self._flat_possible.pop(sweep, None)
+        return {sweep: count}
 
     # -- quarantine -----------------------------------------------------
 
@@ -426,23 +960,26 @@ class ResultCache:
         Written by the runner when a point exhausts its retry budget
         under ``on_error="keep"``: resumes then skip the point instead
         of re-failing it (``--retry-quarantined`` opts back in), and
-        ``cache info`` surfaces the count.  Best-effort like every
-        index write — a read-only cache loses the record, never the
-        run.
+        ``cache info`` surfaces the count.  The record lives in the
+        key's *shard* manifest, so it follows the entry through every
+        per-shard operation.  Best-effort like every index write — a
+        read-only cache loses the record, never the run.
         """
-        target = self.root / sweep
+        prefix = shard_prefix(key)
+        shard_dir = self.root / sweep / prefix
         try:
-            target.mkdir(parents=True, exist_ok=True)
-            if not self.manifest_path(sweep).exists() and any(
-                p.suffix == ".json" for p in target.iterdir()
+            shard_dir.mkdir(parents=True, exist_ok=True)
+            if not self.shard_manifest_path(sweep, prefix).exists() and any(
+                p.suffix == ".json" for p in shard_dir.iterdir()
             ):
-                # Legacy (pre-manifest) directory: index the entries
-                # first so the new journal is a complete fold.
-                self.rebuild_manifest(sweep)
+                # Index-less shard (crashed migration): index the
+                # entries first so the new journal is a complete fold.
+                self._rebuild_shard(sweep, prefix)
             self._append_manifest(
                 sweep,
                 {"op": "quarantine", "key": key, "params": dict(params),
                  "error": str(error), "created": time.time()},
+                prefix,
             )
         except OSError:
             pass
@@ -452,32 +989,25 @@ class ResultCache:
 
         Each record carries the offending ``params`` and the final
         ``error`` string.  Keys with a live entry (a later successful
-        put) are never listed.
+        put) are never listed — in any layer.
         """
-        folded = self._read_manifest(sweep)
-        if folded is None:
-            self.rebuild_manifest(sweep)  # salvages quarantine lines
-            folded = self._read_manifest(sweep)
-        if folded is None:
-            return {}
-        live, quar, records, _ = folded
-        if self._wants_compaction(live, quar, records):
-            self.compact(sweep)
+        _, quar, _, _ = self._folded_sweep(sweep, heal=True, compact=True)
         return quar
 
     def manifest_keys(self, sweep: str) -> Set[str]:
         """Keys the index lists for ``sweep`` — the resume fast path.
 
-        One journal read, O(1) in the number of *other* sweeps' entries
-        and independent of entry sizes.  Listings are advisory: callers
-        must still :meth:`get` (which validates) before trusting one.
+        One (memoized) journal fold per shard touched, O(1) in the
+        number of *other* sweeps' entries and independent of entry
+        sizes.  Listings are advisory: callers must still :meth:`get`
+        (which validates) before trusting one.
         """
         return set(self.manifest(sweep))
 
     # -- aggregate views ------------------------------------------------
 
     def entries(self) -> Iterator[Path]:
-        """All entry files currently on disk.
+        """All entry files currently on disk, sharded and flat.
 
         A snapshot, not a lock: a concurrent sweep or :meth:`clear` may
         remove a listed file before the caller touches it, so consumers
@@ -487,16 +1017,20 @@ class ResultCache:
         """
         if not self.root.is_dir():
             return iter(())
-        return self.root.glob("*/*.json")
+        return (
+            path
+            for pattern in ("*/*.json", "*/*/*.json")
+            for path in self.root.glob(pattern)
+        )
 
     def stats(self) -> CacheStats:
         """Entry count, total size, and the sweep namespaces present.
 
-        Reads one manifest per sweep directory — never the entry files
-        themselves — so ``cache info`` costs O(sweeps), not O(entries).
-        Sweep directories without a readable manifest (legacy caches,
-        torn journals) are healed by :meth:`rebuild_manifest` on the
-        way through.
+        Reads one journal per layer present — never the entry files
+        themselves — so ``cache info`` costs O(shards), not
+        O(entries); with warm fold memos it is O(shards) ``stat``
+        calls.  Layers without a readable journal (legacy caches, torn
+        journals, half-migrated shards) are healed on the way through.
         """
         count = 0
         size = 0
@@ -505,20 +1039,14 @@ class ResultCache:
         sweeps = []
         per_sweep = []
         batch_per_sweep = []
+        shards_per_sweep = []
         if self.root.is_dir():
             for child in sorted(self.root.iterdir()):
                 if not child.is_dir():
                     continue
-                folded = self._read_manifest(child.name)
-                if folded is None:
-                    live = self.rebuild_manifest(child.name)
-                    refolded = self._read_manifest(child.name)
-                    quar = refolded[1] if refolded is not None else {}
-                    batch_keys = refolded[3] if refolded is not None else set()
-                else:
-                    live, quar, records, batch_keys = folded
-                    if self._wants_compaction(live, quar, records):
-                        self.compact(child.name)
+                live, quar, _, batch_keys = self._folded_sweep(
+                    child.name, heal=True, compact=True
+                )
                 if not live and not quar:
                     continue
                 batch_live = sum(1 for key in batch_keys if key in live)
@@ -530,6 +1058,9 @@ class ResultCache:
                 per_sweep.append((child.name, len(live), len(quar)))
                 if batch_live:
                     batch_per_sweep.append((child.name, batch_live))
+                nshards = len(self._shard_dirs(child.name))
+                if nshards:
+                    shards_per_sweep.append((child.name, nshards))
         return CacheStats(
             entries=count,
             bytes=size,
@@ -538,19 +1069,23 @@ class ResultCache:
             per_sweep=tuple(per_sweep),
             batch_entries=batch_total,
             batch_per_sweep=tuple(batch_per_sweep),
+            shards_per_sweep=tuple(shards_per_sweep),
         )
 
     def clear(self, sweep: str | None = None) -> int:
         """Delete all entries (or one sweep's); returns the count removed.
 
         Counting ground-truths against the entry files (not the index):
-        ``clear`` is the maintenance path, and the manifest dies with
-        its directory anyway.
+        ``clear`` is the maintenance path, and the manifests die with
+        their directories anyway.
         """
-        removed = 0
+        self._fold_memo.clear()
+        self._flat_possible.clear()
         if sweep is not None:
             target = self.root / sweep
-            removed = len(list(target.glob("*.json"))) if target.is_dir() else 0
+            removed = (
+                len(list(target.rglob("*.json"))) if target.is_dir() else 0
+            )
             shutil.rmtree(target, ignore_errors=True)
             return removed
         removed = len(list(self.entries()))

@@ -377,13 +377,22 @@ class PointOutcome:
 
 @dataclass
 class SweepResult:
-    """Everything :func:`run_sweep` learned about one sweep."""
+    """Everything :func:`run_sweep` learned about one sweep.
+
+    ``batch_groups`` counts the point-groups the batched dispatch path
+    resolved (0 for scalar-only runs); ``shards`` counts the distinct
+    cache shard directories the run's fresh results landed in (0 when
+    running cache-less).  Both feed the CLI's ``[K groups, S shards]``
+    summary suffix.
+    """
 
     name: str
     outcomes: List[PointOutcome] = field(default_factory=list)
     rows: Any = None
     elapsed: float = 0.0
     title: Optional[str] = None
+    batch_groups: int = 0
+    shards: int = 0
 
     @property
     def hits(self) -> int:
@@ -428,6 +437,14 @@ class CampaignResult:
     @property
     def quarantined(self) -> int:
         return sum(s.quarantined for s in self.sweeps)
+
+    @property
+    def batch_groups(self) -> int:
+        return sum(s.batch_groups for s in self.sweeps)
+
+    @property
+    def shards(self) -> int:
+        return sum(s.shards for s in self.sweeps)
 
     @property
     def elapsed(self) -> float:
@@ -629,6 +646,7 @@ def run_sweep(
 
     exec_backend, owned = resolve_backend(backend, jobs)
     result = SweepResult(name=sweep.name, title=sweep.title)
+    touched_shards: set = set()  # cache shard prefixes fresh puts land in
 
     def emit(idx: int, outcome: PointOutcome) -> None:
         if progress:
@@ -663,6 +681,7 @@ def run_sweep(
         value = _normalize(task.value)
         if cache:
             cache.put(sweep.name, key, params, value)
+            touched_shards.add(key[:2])
         outcome = PointOutcome(params, key, value, False, task.seconds)
         resolved[idx] = outcome
         emit(idx, outcome)
@@ -756,15 +775,23 @@ def run_sweep(
                         leftover.extend(group)
                         continue
                     seconds = task.seconds / len(group)
+                    entries: List[Tuple[str, Mapping[str, Any], Any]] = []
                     for idx, value in zip(group, values):
                         params = sweep.points[idx]
                         key = keys[idx] if cache else ""
                         value = _normalize(value)
                         if cache:
-                            cache.put(sweep.name, key, params, value, batch=True)
+                            entries.append((key, params, value))
+                            touched_shards.add(key[:2])
                         resolved[idx] = PointOutcome(
                             params, key, value, False, seconds, batch=True
                         )
+                    if cache:
+                        # Bulk index I/O: the whole resolved group costs
+                        # one manifest append + one fsync per shard
+                        # touched, not one per point.
+                        cache.put_many(sweep.name, entries, batch=True)
+                    result.batch_groups += 1
             finally:
                 _close(dispatched)
             missing = leftover
@@ -837,6 +864,7 @@ def run_sweep(
             result.rows = sweep.rows(values)
         except Exception:
             result.rows = [v for v in values if v is not FAILED]
+    result.shards = len(touched_shards)
     result.elapsed = time.perf_counter() - start
     return result
 

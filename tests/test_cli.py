@@ -54,7 +54,7 @@ class TestBackendPlumbing:
         assert "maxreuse: 0 cached, 1 computed" in capsys.readouterr().out
         # The explicit backend is stamped into the cached entry's params.
         [entry] = [
-            p for p in (tmp_path / "maxreuse").glob("*.json")
+            p for p in (tmp_path / "maxreuse").glob("*/*.json")
         ]
         params = json.loads(entry.read_text())["params"]
         assert params["backend"] == backend
@@ -63,12 +63,12 @@ class TestBackendPlumbing:
         for backend in ("serial", "process"):
             assert cli_main(_sweep_argv(tmp_path, "--backend", backend)) == 0
         capsys.readouterr()
-        assert len(list((tmp_path / "maxreuse").glob("*.json"))) == 2
+        assert len(list((tmp_path / "maxreuse").glob("*/*.json"))) == 2
 
     def test_auto_backend_leaves_points_unstamped(self, tmp_path, capsys):
         assert cli_main(_sweep_argv(tmp_path)) == 0
         capsys.readouterr()
-        [entry] = list((tmp_path / "maxreuse").glob("*.json"))
+        [entry] = list((tmp_path / "maxreuse").glob("*/*.json"))
         assert "backend" not in json.loads(entry.read_text())["params"]
 
     def test_warm_rerun_is_fully_cached(self, tmp_path, capsys):
@@ -150,7 +150,8 @@ class TestCacheCommand:
             cache.put("s", "k", {}, 1)  # nine dead records
         assert cli_main(["cache", "compact", "--cache-dir", str(tmp_path)]) == 0
         assert "9 dead record(s) dropped" in capsys.readouterr().out
-        assert len(cache.manifest_path("s").read_text().splitlines()) == 1
+        shard = cache.shard_manifest_path("s", "k_")  # 1-char key pads
+        assert len(shard.read_text().splitlines()) == 1
         value, hit = cache.get("s", "k")
         assert hit and value == 1
 
@@ -165,6 +166,40 @@ class TestCacheCommand:
         out = capsys.readouterr().out
         assert "compacted service journal: 2 record(s) dropped" in out
         assert journal.fold() == {}
+
+    def test_migrate_moves_flat_sweep_into_shards(self, tmp_path, capsys):
+        import os
+
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put("s", f"{i:02d}abcd", {"i": i}, i)
+        # Rewrite into the pre-sharding flat layout migrate consumes.
+        root = tmp_path / "s"
+        lines = []
+        for manifest in sorted(root.glob("*/MANIFEST.jsonl")):
+            lines.append(manifest.read_text())
+            manifest.unlink()
+        for entry in sorted(root.glob("*/*.json")):
+            os.replace(entry, root / entry.name)
+        for shard in [c for c in root.iterdir() if c.is_dir()]:
+            shard.rmdir()
+        (root / "MANIFEST.jsonl").write_text("".join(lines))
+
+        assert cli_main(["cache", "migrate", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "s: 3 entries moved into shards" in out
+        assert "migrated 3 legacy flat entries" in out
+        assert not list(root.glob("*.json"))
+        fresh = ResultCache(tmp_path)
+        assert fresh.stats().shards_per_sweep == (("s", 3),)
+        for i in range(3):
+            value, hit = fresh.get("s", f"{i:02d}abcd")
+            assert hit and value == i
+
+    def test_migrate_with_nothing_flat_is_quiet_success(self, tmp_path, capsys):
+        ResultCache(tmp_path).put("s", "aabbcc", {}, 1)
+        assert cli_main(["cache", "migrate", "--cache-dir", str(tmp_path)]) == 0
+        assert "migrated 0 legacy flat entries" in capsys.readouterr().out
 
 
 class TestCacheEnvExport:

@@ -367,9 +367,12 @@ class TestQuarantine:
         self._fail_permanently(cache)
         before = cache.quarantined("ft")
         assert before
-        # tear the journal: append garbage, forcing a rebuild
-        with open(cache.manifest_path("ft"), "a") as handle:
-            handle.write("{torn-line\n")
+        # tear every journal holding a quarantine: append garbage,
+        # forcing a per-shard rebuild
+        for key in before:
+            path = cache.shard_manifest_path("ft", key[:2])
+            with open(path, "a") as handle:
+                handle.write("{torn-line\n")
         assert cache.quarantined("ft") == before  # salvaged, not amnestied
         assert cache.manifest("ft")  # live index rebuilt too
 
@@ -409,7 +412,12 @@ class TestCrashRecovery:
             o.value for o in clean.outcomes
         ]
         # manifest integrity: parsable, no torn lines, no duplicates
-        lines = cache.manifest_path("ft").read_text().splitlines()
+        # (one journal per shard directory touched)
+        lines = [
+            line
+            for path in sorted((tmp_path / "ft").glob("*/MANIFEST.jsonl"))
+            for line in path.read_text().splitlines()
+        ]
         records = [json.loads(line) for line in lines if line.strip()]
         put_keys = [r["key"] for r in records if r["op"] == "put"]
         assert len(put_keys) == len(set(put_keys)) == 16

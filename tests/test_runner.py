@@ -432,6 +432,29 @@ class TestCodeVersionFreshness:
         assert _calls(counter) == 4  # invalidated by the edit
 
 
+def _seed_flat(cache, sweep, key, value):
+    """Plant a pre-sharding flat-layout entry (no journal record) —
+    the shape of a cache directory written before the sharded layout."""
+    path = cache.flat_path_for(sweep, key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({
+        "format": 1, "key": key, "sweep": sweep, "params": {},
+        "created": 0.0, "result": value,
+    }))
+    return path
+
+
+def _journal_lines(cache, sweep):
+    """Every journal line of a sweep, across the legacy and shard layers."""
+    lines = []
+    paths = [cache.manifest_path(sweep)]
+    paths += sorted((cache.root / sweep).glob("*/MANIFEST.jsonl"))
+    for path in paths:
+        if path.exists():
+            lines.extend(path.read_text().splitlines())
+    return lines
+
+
 class TestManifest:
     """The per-sweep append-only journal that indexes the cache."""
 
@@ -466,22 +489,48 @@ class TestManifest:
         assert stats.bytes > 0
 
     def test_legacy_directory_is_rebuilt(self, tmp_path):
-        """A pre-manifest cache (entry files, no journal) is indexed on
-        first read — the entry files are the ground truth."""
+        """A pre-manifest cache (flat entry files, no journal) is
+        indexed on first read — the entry files are the ground truth."""
         cache = ResultCache(tmp_path)
-        cache.put("s", "k0", {}, 0)
-        cache.put("s", "k1", {}, 1)
-        cache.manifest_path("s").unlink()  # simulate the legacy layout
+        _seed_flat(cache, "s", "k0", 0)
+        _seed_flat(cache, "s", "k1", 1)
         assert cache.stats().entries == 2
         assert cache.manifest_path("s").exists()  # healed
 
     def test_put_into_legacy_directory_indexes_everything(self, tmp_path):
         cache = ResultCache(tmp_path)
-        cache.put("s", "k0", {}, 0)
-        cache.manifest_path("s").unlink()
-        cache.put("s", "k1", {}, 1)  # must index k0 too, not just k1
+        _seed_flat(cache, "s", "k0", 0)
+        cache.put("s", "k1", {}, 1)  # sharded write next to flat legacy
         assert sorted(cache.manifest("s")) == ["k0", "k1"]
         assert cache.stats().entries == 2
+        value, hit = cache.get("s", "k0")  # served from the flat layer
+        assert hit and value == 0
+
+    def test_sharded_rewrite_retires_flat_duplicate(self, tmp_path):
+        """A put of a key that also exists flat supersedes the flat copy
+        — one readable location per key, and the index agrees."""
+        cache = ResultCache(tmp_path)
+        _seed_flat(cache, "s", "k0", "old")
+        assert cache.manifest_keys("s") == {"k0"}  # indexes the flat copy
+        cache.put("s", "k0", {}, "new")
+        assert not cache.flat_path_for("s", "k0").exists()
+        value, hit = cache.get("s", "k0")
+        assert hit and value == "new"
+        assert cache.manifest_keys("s") == {"k0"}
+        assert cache.stats().entries == 1
+
+    def test_entries_shard_by_key_prefix(self, tmp_path):
+        """Layout acceptance: entries land in ``<sweep>/<key[:2]>/`` with
+        a per-shard journal, bounding every directory's fan-out."""
+        cache = ResultCache(tmp_path)
+        cache.put("s", "abcd", {}, 1)
+        cache.put("s", "abxy", {}, 2)
+        cache.put("s", "cdef", {}, 3)
+        assert cache.path_for("s", "abcd") == tmp_path / "s" / "ab" / "abcd.json"
+        assert (tmp_path / "s" / "ab" / "MANIFEST.jsonl").exists()
+        assert (tmp_path / "s" / "cd" / "MANIFEST.jsonl").exists()
+        assert sorted(cache.manifest("s")) == ["abcd", "abxy", "cdef"]
+        assert dict(cache.stats().shards_per_sweep) == {"s": 2}
 
     def test_corrupt_manifest_is_rebuilt(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -526,9 +575,9 @@ class TestManifest:
         import repro.runner.cache as cache_mod
 
         cache = ResultCache(tmp_path)
-        cache.put("s", "k0", {}, 0)
+        _seed_flat(cache, "s", "k0", 0)  # legacy flat layer, no index
         cache.put("s", "k1", {}, 1)
-        cache.manifest_path("s").unlink()  # legacy: entries, no index
+        cache.shard_manifest_path("s", "k1").unlink()  # torn shard index
 
         def no_write(*a, **k):
             raise OSError("read-only file system")
@@ -538,13 +587,14 @@ class TestManifest:
         assert stats.entries == 2 and stats.sweeps == ("s",)
         assert sorted(cache.manifest_keys("s")) == ["k0", "k1"]
         assert not cache.manifest_path("s").exists()  # nothing persisted
+        assert not cache.shard_manifest_path("s", "k1").exists()
 
     def test_put_survives_unwritable_manifest(self, tmp_path, monkeypatch):
         """Entry files are the ground truth: a failing journal append
         must not fail the put, and the index self-heals later."""
         cache = ResultCache(tmp_path)
 
-        def no_append(self, sweep, record):
+        def no_append(self, sweep, record, prefix=None):
             raise OSError("append refused")
 
         monkeypatch.setattr(ResultCache, "_append_manifest", no_append)
@@ -612,10 +662,10 @@ class TestManifestCompaction:
     def test_compact_drops_dead_records_only(self, tmp_path):
         cache = ResultCache(tmp_path)
         self._churn(cache)
-        lines_before = cache.manifest_path("s").read_text().splitlines()
+        lines_before = _journal_lines(cache, "s")
         dropped = cache.compact("s")
         assert dropped == len(lines_before) - 2
-        lines = cache.manifest_path("s").read_text().splitlines()
+        lines = _journal_lines(cache, "s")
         assert len(lines) == 2  # exactly the fold: one put per live key
         assert sorted(cache.manifest("s")) == ["k0", "k1"]
         for i in range(2):
@@ -625,9 +675,9 @@ class TestManifestCompaction:
     def test_compact_noop_when_nothing_dead(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.put("s", "k0", {}, 0)
-        before = cache.manifest_path("s").read_text()
+        before = _journal_lines(cache, "s")
         assert cache.compact("s") == 0
-        assert cache.manifest_path("s").read_text() == before
+        assert _journal_lines(cache, "s") == before
 
     def test_compaction_preserves_quarantine_records(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -641,22 +691,18 @@ class TestManifestCompaction:
         journal whose dead history outnumbers its live entries."""
         cache = ResultCache(tmp_path)
         self._churn(cache)
-        assert len(
-            cache.manifest_path("s").read_text().splitlines()
-        ) > 2
+        assert len(_journal_lines(cache, "s")) > 2
         assert sorted(cache.manifest("s")) == ["k0", "k1"]  # triggers it
-        assert len(
-            cache.manifest_path("s").read_text().splitlines()
-        ) == 2
+        assert len(_journal_lines(cache, "s")) == 2
 
     def test_small_journals_never_churn(self, tmp_path):
         """The floor: a handful of dead records is not worth a rewrite."""
         cache = ResultCache(tmp_path)
         cache.put("s", "k0", {}, 0)
         cache.put("s", "k0", {}, 0)  # one dead record
-        lines = cache.manifest_path("s").read_text()
+        lines = _journal_lines(cache, "s")
         cache.manifest("s")
-        assert cache.manifest_path("s").read_text() == lines
+        assert _journal_lines(cache, "s") == lines
 
     def test_torn_compaction_leaves_manifest_intact(
         self, tmp_path, monkeypatch
@@ -668,7 +714,7 @@ class TestManifestCompaction:
 
         cache = ResultCache(tmp_path)
         self._churn(cache)
-        before = cache.manifest_path("s").read_text()
+        before = _journal_lines(cache, "s")
 
         def torn_replace(src, dst):
             raise OSError("simulated crash before rename")
@@ -676,7 +722,204 @@ class TestManifestCompaction:
         monkeypatch.setattr(cache_mod.os, "replace", torn_replace)
         assert cache.compact("s") == 0  # best-effort: reports nothing done
         monkeypatch.undo()
-        assert cache.manifest_path("s").read_text() == before
-        assert not list((tmp_path / "s").glob("*.tmp"))
+        assert _journal_lines(cache, "s") == before
+        assert not list((tmp_path / "s").rglob("*.tmp"))
         assert cache.compact("s") > 0  # the retry completes the fold
         assert sorted(cache.manifest_keys("s")) == ["k0", "k1"]
+
+
+class TestBulkIO:
+    """put_many/get_many: a resolved batch costs one journal append
+    and one fsync per shard touched, never one per point."""
+
+    ENTRIES = [
+        ("ab0000", {"i": 0}, 0),
+        ("ab0001", {"i": 1}, 1),
+        ("ab0002", {"i": 2}, 2),
+        ("cd0000", {"i": 3}, 3),
+        ("cd0001", {"i": 4}, 4),
+    ]
+
+    def test_put_many_matches_scalar_puts(self, tmp_path):
+        scalar, bulk = ResultCache(tmp_path / "a"), ResultCache(tmp_path / "b")
+        for key, params, value in self.ENTRIES:
+            scalar.put("s", key, params, value)
+        assert bulk.put_many("s", self.ENTRIES) == len(self.ENTRIES)
+        # Entry sizes can differ by a byte (timestamp width), so compare
+        # the indexed key sets, not the byte column.
+        assert sorted(scalar.manifest("s")) == sorted(bulk.manifest("s"))
+        for key, _, value in self.ENTRIES:
+            got, hit = bulk.get("s", key)
+            assert hit and got == value
+
+    def test_put_many_one_append_one_fsync_per_shard(
+        self, tmp_path, monkeypatch
+    ):
+        cache = ResultCache(tmp_path)
+        appends = []
+        original = ResultCache._append_lines
+
+        def counting(self, path, lines, fsync=False):
+            appends.append((path.name, path.parent.name, fsync))
+            return original(self, path, lines, fsync)
+
+        monkeypatch.setattr(ResultCache, "_append_lines", counting)
+        cache.put_many("s", self.ENTRIES, batch=True)
+        # 5 entries across 2 shards: exactly 2 journal writes, fsynced.
+        assert sorted(appends) == [
+            ("MANIFEST.jsonl", "ab", True),
+            ("MANIFEST.jsonl", "cd", True),
+        ]
+        assert sorted(cache.manifest_keys("s")) == sorted(
+            k for k, _, _ in self.ENTRIES
+        )
+
+    def test_put_many_stamps_batch_provenance(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put_many("s", self.ENTRIES, batch=True)
+        assert cache.stats().batch_entries == len(self.ENTRIES)
+
+    def test_get_many_returns_hits_only(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put_many("s", self.ENTRIES)
+        keys = [k for k, _, _ in self.ENTRIES]
+        hits = cache.get_many("s", keys + ["ab9999", "ee0000"])
+        assert hits == {k: v for k, _, v in self.ENTRIES}
+
+    def test_stats_fold_is_memoized_on_snapshot(self, tmp_path, monkeypatch):
+        """Repeated index reads of an unchanged journal cost one stat,
+        not a re-read+re-fold (the code_version() trick)."""
+        import repro.runner.cache as cache_mod
+
+        cache = ResultCache(tmp_path)
+        cache.put_many("s", self.ENTRIES)
+        first = cache.stats()
+
+        reads = []
+        original = Path.read_text
+
+        def counting(self, *a, **k):
+            reads.append(self.name)
+            return original(self, *a, **k)
+
+        monkeypatch.setattr(cache_mod.Path, "read_text", counting)
+        assert cache.stats() == first
+        assert "MANIFEST.jsonl" not in reads  # folds served from memo
+        monkeypatch.undo()
+
+        # Any write invalidates: the next read refolds and sees it.
+        cache.put("s", "ab0077", {}, 7)
+        assert cache.stats().entries == first.entries + 1
+
+
+def _flatten_to_legacy(cache, sweep):
+    """Rewrite a sharded sweep directory into the pre-sharding flat
+    layout (entries at the top level, one legacy MANIFEST.jsonl) —
+    the shape ``cache migrate`` exists to consume."""
+    root = cache.root / sweep
+    lines = []
+    for manifest in sorted(root.glob("*/MANIFEST.jsonl")):
+        lines.append(manifest.read_text())
+        manifest.unlink()
+    for entry in sorted(root.glob("*/*.json")):
+        os.replace(entry, root / entry.name)
+    for shard in [c for c in root.iterdir() if c.is_dir()]:
+        shard.rmdir()
+    (root / "MANIFEST.jsonl").write_text("".join(lines))
+
+
+class TestMigrate:
+    """cache migrate: flat legacy sweeps move wholesale into shards."""
+
+    def _legacy(self, tmp_path, n=5):
+        cache = ResultCache(tmp_path)
+        for i in range(n):
+            cache.put("s", f"{i:02d}beef", {"i": i}, i)
+        _flatten_to_legacy(cache, "s")
+        return ResultCache(tmp_path)  # fresh handle: no stale memos
+
+    def test_migrate_moves_entries_and_retires_manifest(self, tmp_path):
+        cache = self._legacy(tmp_path)
+        before = cache.manifest("s")
+        assert cache.migrate("s") == {"s": 5}
+        assert not list((tmp_path / "s").glob("*.json"))  # no flat entries
+        assert not cache.manifest_path("s").exists()  # legacy journal gone
+        fresh = ResultCache(tmp_path)
+        assert fresh.manifest("s") == before
+        for i in range(5):
+            value, hit = fresh.get("s", f"{i:02d}beef")
+            assert hit and value == i
+            assert fresh.path_for("s", f"{i:02d}beef").is_file()
+
+    def test_migrate_is_idempotent(self, tmp_path):
+        cache = self._legacy(tmp_path)
+        assert cache.migrate("s") == {"s": 5}
+        assert ResultCache(tmp_path).migrate("s") == {}  # nothing flat left
+        assert len(ResultCache(tmp_path).manifest("s")) == 5
+
+    def test_migrate_preserves_quarantine_and_batch_stamps(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("s", "aa0001", {"i": 1}, 1, batch=True)
+        cache.put("s", "bb0002", {"i": 2}, 2)
+        cache.quarantine("s", "cc0003", {"i": 3}, "permanent failure")
+        _flatten_to_legacy(cache, "s")
+        cache = ResultCache(tmp_path)
+        assert cache.migrate("s") == {"s": 2}  # quarantine re-homes, moves 0
+        fresh = ResultCache(tmp_path)
+        assert set(fresh.quarantined("s")) == {"cc0003"}
+        stats = fresh.stats()
+        assert stats.entries == 2 and stats.quarantined == 1
+        assert stats.batch_entries == 1  # provenance stamp survived
+
+    def test_migrate_tolerates_sharded_rewrite_of_same_key(self, tmp_path):
+        """A crashed migration followed by new writes: the sharded copy
+        wins, the stale flat duplicate is dropped, not resurrected."""
+        cache = self._legacy(tmp_path)
+        cache = ResultCache(tmp_path)
+        cache.put("s", "00beef", {"i": 0}, "newer")  # shards + retires flat
+        _seed_flat(cache, "s", "00beef", "stale")  # simulate the crash relic
+        ResultCache(tmp_path).migrate("s")
+        value, hit = ResultCache(tmp_path).get("s", "00beef")
+        assert hit and value == "newer"
+
+    def test_quarantine_then_migrate_then_resume(self, tmp_path):
+        """The ISSUE regression: a legacy flat sweep with quarantine
+        records is migrated, and a --resume run still skips the
+        quarantined point and recomputes nothing."""
+        from repro.runner import RetryPolicy
+
+        sweep = _counting_sweep(tmp_path)
+        bad = dict(sweep.points[2])
+        bad["boom"] = True
+        points = (*sweep.points[:2], bad, *sweep.points[3:])
+        sweep = Sweep(name=sweep.name, run_fn=_flaky_point, points=points)
+        cache = ResultCache(tmp_path / "cache")
+        first = run_sweep(
+            sweep, cache=cache, code="v", on_error="keep",
+            retry=RetryPolicy(retries=1, backoff=0.0),
+        )
+        assert first.errors == 1
+        assert len(cache.quarantined(sweep.name)) == 1
+        calls = _calls(tmp_path / "calls.txt")
+
+        _flatten_to_legacy(cache, sweep.name)
+        legacy = ResultCache(tmp_path / "cache")
+        assert len(legacy.quarantined(sweep.name)) == 1  # readable flat
+        assert legacy.migrate(sweep.name) == {sweep.name: 3}
+
+        resumed = run_sweep(
+            sweep, cache=ResultCache(tmp_path / "cache"), code="v",
+            resume=True, on_error="keep",
+        )
+        assert resumed.hits == 3 and resumed.quarantined == 1
+        assert resumed.misses == 0
+        assert _calls(tmp_path / "calls.txt") == calls  # nothing recomputed
+
+
+def _flaky_point(params):
+    """Counting point that fails permanently when stamped ``boom``."""
+    with open(params["counter"], "a") as fh:
+        fh.write("x")
+    if params.get("boom"):
+        raise RuntimeError("permanent failure")
+    return {"x": params["x"], "square": params["x"] ** 2}

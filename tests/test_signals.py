@@ -38,7 +38,7 @@ def _sweep_cmd(cache_dir, *extra):
 def _entry_shapes(cache_dir):
     """Every fig10 entry minus its write timestamp, for byte-identity."""
     out = {}
-    for path in sorted(Path(cache_dir, "fig10").glob("*.json")):
+    for path in sorted(Path(cache_dir, "fig10").glob("*/*.json")):
         record = json.loads(path.read_text())
         record.pop("created", None)
         out[path.name] = record
@@ -50,7 +50,7 @@ def _wait_for_entries(cache_dir, n, deadline_s=30.0):
     deadline = time.monotonic() + deadline_s
     target = Path(cache_dir, "fig10")
     while time.monotonic() < deadline:
-        if len(list(target.glob("*.json"))) >= n:
+        if len(list(target.glob("*/*.json"))) >= n:
             return
         time.sleep(0.05)
     raise AssertionError(f"no {n} cache entries within {deadline_s}s")
@@ -106,17 +106,22 @@ class TestInterruptedSweep:
         assert "rerun with --resume" in err
         _assert_group_gone(proc.pid)
 
-        # The manifest survived the interrupt well-formed: every line
-        # parses, no duplicate puts, and each put names a real entry.
-        manifest = interrupted / "fig10" / "MANIFEST.jsonl"
-        records = [
-            json.loads(line)
-            for line in manifest.read_text().splitlines() if line.strip()
-        ]
+        # The journals survived the interrupt well-formed: every line
+        # parses, no duplicate puts, and each put names a real entry
+        # (one manifest per shard directory touched).
+        def journal_records(root):
+            return [
+                json.loads(line)
+                for manifest in sorted(root.glob("*/MANIFEST.jsonl"))
+                for line in manifest.read_text().splitlines()
+                if line.strip()
+            ]
+
+        records = journal_records(interrupted / "fig10")
         puts = [r["key"] for r in records if r["op"] == "put"]
         assert len(puts) == len(set(puts)) >= 2
         for key in puts:
-            assert (interrupted / "fig10" / f"{key}.json").is_file()
+            assert (interrupted / "fig10" / key[:2] / f"{key}.json").is_file()
         done_before = len(puts)
 
         # --resume completes only the remainder, byte-identically.
@@ -126,10 +131,7 @@ class TestInterruptedSweep:
         )
         assert result.returncode == 0, result.stderr
         assert _entry_shapes(interrupted) == reference
-        again = [
-            json.loads(line)
-            for line in manifest.read_text().splitlines() if line.strip()
-        ]
+        again = journal_records(interrupted / "fig10")
         final_puts = {r["key"] for r in again if r["op"] == "put"}
         assert len(final_puts) == 21 and set(puts) <= final_puts
         assert done_before < 21  # the interrupt really landed mid-sweep
